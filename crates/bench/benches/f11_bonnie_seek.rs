@@ -1,0 +1,22 @@
+//! Bench target for Figure 11 (bonnie random seeks).
+//!
+//! Prints the reproduced result, then times one representative
+//! simulation run.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tnt_bench::print_reproduction;
+use tnt_os::Os;
+
+fn bench(c: &mut Criterion) {
+    print_reproduction("f11");
+    let mut g = c.benchmark_group("f11_bonnie_seek");
+    for mb in [4u64, 32] {
+        g.bench_function(format!("freebsd_{mb}mb"), |b| {
+            b.iter(|| tnt_core::bonnie(Os::FreeBsd, mb, 20, 1))
+        });
+    }
+    g.finish();
+}
+
+criterion_group! { name = benches; config = tnt_bench::bench_config!(); targets = bench }
+criterion_main!(benches);

@@ -1,0 +1,22 @@
+//! Bench target for Figure 12 (file create/delete).
+//!
+//! Prints the reproduced result, then times one representative
+//! simulation run.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tnt_bench::print_reproduction;
+use tnt_os::Os;
+
+fn bench(c: &mut Criterion) {
+    print_reproduction("f12");
+    let mut g = c.benchmark_group("f12_crtdel");
+    for os in Os::benchmarked() {
+        g.bench_function(format!("{os:?}_1kb"), |b| {
+            b.iter(|| tnt_core::crtdel_ms(os, 1024, 5, 1))
+        });
+    }
+    g.finish();
+}
+
+criterion_group! { name = benches; config = tnt_bench::bench_config!(); targets = bench }
+criterion_main!(benches);

@@ -1,0 +1,22 @@
+//! Bench target for Figure 13 (UDP bandwidth vs packet size).
+//!
+//! Prints the reproduced result, then times one representative
+//! simulation run.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tnt_bench::print_reproduction;
+use tnt_os::Os;
+
+fn bench(c: &mut Criterion) {
+    print_reproduction("f13");
+    let mut g = c.benchmark_group("f13_udp");
+    for packet in [1024u64, 8192] {
+        g.bench_function(format!("freebsd_pkt_{packet}"), |b| {
+            b.iter(|| tnt_core::udp_bandwidth_mbit(Os::FreeBsd, packet, 1 << 20, 1))
+        });
+    }
+    g.finish();
+}
+
+criterion_group! { name = benches; config = tnt_bench::bench_config!(); targets = bench }
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Bench target for Figure 1 (context switching).
+//!
+//! Prints the reproduced result, then times one representative
+//! simulation run.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tnt_bench::print_reproduction;
+
+use tnt_core::CtxPattern;
+use tnt_os::Os;
+
+fn bench(c: &mut Criterion) {
+    print_reproduction("f1");
+    let mut g = c.benchmark_group("f1_ctx");
+    for n in [2usize, 32, 96] {
+        g.bench_function(format!("ring_{n}_procs_linux"), |b| {
+            b.iter(|| tnt_core::ctx_us(Os::Linux, n, 1_000, CtxPattern::Ring, 1))
+        });
+    }
+    g.bench_function("lifo_48_procs_solaris", |b| {
+        b.iter(|| tnt_core::ctx_us(Os::Solaris, 48, 1_000, CtxPattern::LifoChain, 1))
+    });
+    g.finish();
+}
+
+criterion_group! { name = benches; config = tnt_bench::bench_config!(); targets = bench }
+criterion_main!(benches);

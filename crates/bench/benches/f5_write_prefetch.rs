@@ -1,0 +1,22 @@
+//! Bench target for Figure 5 (prefetching custom write).
+//!
+//! Prints the reproduced result, then times one representative
+//! simulation run.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tnt_bench::print_reproduction;
+use tnt_cpu::MemRoutine;
+
+fn bench(c: &mut Criterion) {
+    print_reproduction("f5");
+    let mut g = c.benchmark_group("f5_write_prefetch");
+    for buf in [4096u64, 65536, 1 << 21] {
+        g.bench_function(format!("buf_{buf}"), |b| {
+            b.iter(|| tnt_core::mem_bandwidth(MemRoutine::CustomWritePrefetch, buf, 1 << 20, 1))
+        });
+    }
+    g.finish();
+}
+
+criterion_group! { name = benches; config = tnt_bench::bench_config!(); targets = bench }
+criterion_main!(benches);

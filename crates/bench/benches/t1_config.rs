@@ -1,0 +1,20 @@
+//! Bench target for Table 1 (disk partitioning).
+//!
+//! Prints the reproduced result, then times one representative
+//! simulation run.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tnt_bench::print_reproduction;
+
+fn bench(c: &mut Criterion) {
+    print_reproduction("t1");
+    c.bench_function("t1_config_render", |b| b.iter(print_scale));
+}
+
+fn print_scale() -> usize {
+    // Table 1 is configuration; benchmark the render path itself.
+    tnt_harness::run_one("t1", &tnt_harness::Scale::smoke()).len()
+}
+
+criterion_group! { name = benches; config = tnt_bench::bench_config!(); targets = bench }
+criterion_main!(benches);

@@ -1,0 +1,17 @@
+//! Bench target for Table 2 (system call).
+//!
+//! Prints the reproduced result, then times one representative
+//! simulation run.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tnt_bench::print_reproduction;
+
+fn bench(c: &mut Criterion) {
+    print_reproduction("t2");
+    c.bench_function("t2_getpid_100k_linux", |b| {
+        b.iter(|| tnt_core::syscall_us(tnt_os::Os::Linux, 100_000, 1))
+    });
+}
+
+criterion_group! { name = benches; config = tnt_bench::bench_config!(); targets = bench }
+criterion_main!(benches);

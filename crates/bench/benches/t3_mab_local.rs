@@ -1,0 +1,18 @@
+//! Bench target for Table 3 (MAB on the local filesystem).
+//!
+//! Prints the reproduced result, then times one representative
+//! simulation run.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tnt_bench::print_reproduction;
+use tnt_os::Os;
+
+fn bench(c: &mut Criterion) {
+    print_reproduction("t3");
+    c.bench_function("t3_mab_local_linux", |b| {
+        b.iter(|| tnt_core::mab_local(Os::Linux, 1).total_s)
+    });
+}
+
+criterion_group! { name = benches; config = tnt_bench::bench_config!(); targets = bench }
+criterion_main!(benches);

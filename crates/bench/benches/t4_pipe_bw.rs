@@ -1,0 +1,22 @@
+//! Bench target for Table 4 (pipe bandwidth).
+//!
+//! Prints the reproduced result, then times one representative
+//! simulation run.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tnt_bench::print_reproduction;
+use tnt_os::Os;
+
+fn bench(c: &mut Criterion) {
+    print_reproduction("t4");
+    let mut g = c.benchmark_group("t4_pipe");
+    for os in Os::benchmarked() {
+        g.bench_function(format!("{os:?}_8mb"), |b| {
+            b.iter(|| tnt_core::pipe_bandwidth_mbit(os, 8 << 20, tnt_core::BW_PIPE_CHUNK, 1))
+        });
+    }
+    g.finish();
+}
+
+criterion_group! { name = benches; config = tnt_bench::bench_config!(); targets = bench }
+criterion_main!(benches);

@@ -1,0 +1,18 @@
+//! Bench target for Table 6 (MAB over NFS, Linux server).
+//!
+//! Prints the reproduced result, then times one representative
+//! simulation run.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tnt_bench::print_reproduction;
+use tnt_os::Os;
+
+fn bench(c: &mut Criterion) {
+    print_reproduction("t6");
+    c.bench_function("t6_mab_nfs_freebsd_client", |b| {
+        b.iter(|| tnt_core::mab_over_nfs(Os::FreeBsd, Os::Linux, 1).total_s)
+    });
+}
+
+criterion_group! { name = benches; config = tnt_bench::bench_config!(); targets = bench }
+criterion_main!(benches);

@@ -1,0 +1,18 @@
+//! Bench target for Table 7 (MAB over NFS, SunOS server).
+//!
+//! Prints the reproduced result, then times one representative
+//! simulation run.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tnt_bench::print_reproduction;
+use tnt_os::Os;
+
+fn bench(c: &mut Criterion) {
+    print_reproduction("t7");
+    c.bench_function("t7_mab_nfs_linux_client", |b| {
+        b.iter(|| tnt_core::mab_over_nfs(Os::Linux, Os::SunOs, 1).total_s)
+    });
+}
+
+criterion_group! { name = benches; config = tnt_bench::bench_config!(); targets = bench }
+criterion_main!(benches);

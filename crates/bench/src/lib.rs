@@ -1,0 +1,40 @@
+//! Shared plumbing for the per-table/per-figure Criterion benches.
+//!
+//! Every bench target does two things:
+//!
+//! 1. prints the reproduced table or figure (rows/series in the paper's
+//!    format) by running the corresponding harness experiment once;
+//! 2. benchmarks a representative single simulation run with Criterion,
+//!    so `cargo bench` also tracks the *simulator's* performance.
+
+use tnt_harness::{run_one, Scale};
+
+/// Prints the reproduced output of experiment `id` at a scale suitable
+/// for a bench preamble (small but shape-preserving).
+pub fn print_reproduction(id: &str) {
+    let scale = preamble_scale(id);
+    for out in run_one(id, &scale) {
+        println!("{}", out.text);
+    }
+}
+
+/// Heavy experiments (whole-MAB runs) use the smoke scale for their
+/// printed preamble; everything else uses quick.
+fn preamble_scale(id: &str) -> Scale {
+    match id {
+        "t3" | "t6" | "t7" | "f9" | "f10" | "f11" => Scale::smoke(),
+        _ => Scale::quick(),
+    }
+}
+
+/// The per-bench Criterion configuration: simulation runs are whole
+/// experiments, so keep the sample count low.
+#[macro_export]
+macro_rules! bench_config {
+    () => {
+        criterion::Criterion::default()
+            .sample_size(10)
+            .measurement_time(std::time::Duration::from_secs(3))
+            .warm_up_time(std::time::Duration::from_millis(500))
+    };
+}

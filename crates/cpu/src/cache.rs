@@ -1,0 +1,388 @@
+//! Generic set-associative cache model with true LRU replacement.
+//!
+//! The Pentium P54C property that drives the paper's Section 6 results is
+//! configured here per cache: **write-allocate off** means a write miss
+//! does not bring the line into the cache, so subsequent writes to the
+//! same line keep missing and drain through the write buffer at memory
+//! speed.
+
+/// Geometry and policy of one cache level.
+#[derive(Clone, Copy, Debug)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub size: usize,
+    /// Associativity (1 = direct mapped).
+    pub ways: usize,
+    /// Line size in bytes (power of two).
+    pub line: usize,
+    /// Whether a write miss allocates the line (the Pentium's L1 does not).
+    pub write_allocate: bool,
+}
+
+impl CacheConfig {
+    /// The Pentium P54C 8 KB, 2-way, 32-byte-line L1 data cache.
+    pub fn p54c_l1d() -> CacheConfig {
+        CacheConfig {
+            size: 8 * 1024,
+            ways: 2,
+            line: 32,
+            write_allocate: false,
+        }
+    }
+
+    /// The Pentium P54C 8 KB, 2-way, 32-byte-line L1 instruction cache.
+    pub fn p54c_l1i() -> CacheConfig {
+        CacheConfig {
+            size: 8 * 1024,
+            ways: 2,
+            line: 32,
+            write_allocate: false,
+        }
+    }
+
+    /// The Intel Plato board's 256 KB direct-mapped pipeline-burst L2.
+    pub fn plato_l2() -> CacheConfig {
+        CacheConfig {
+            size: 256 * 1024,
+            ways: 1,
+            line: 32,
+            write_allocate: false,
+        }
+    }
+
+    /// Number of sets implied by the geometry.
+    pub fn sets(&self) -> usize {
+        self.size / (self.line * self.ways)
+    }
+}
+
+/// Outcome of a cache access.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Access {
+    /// The line was present.
+    Hit,
+    /// The line was absent and (for allocating accesses) has been brought
+    /// in; `evicted_dirty` reports whether a dirty victim was written back.
+    Miss {
+        /// A dirty line was evicted to make room.
+        evicted_dirty: bool,
+    },
+    /// The line was absent and, per the no-write-allocate policy, was NOT
+    /// brought in; the data goes straight to the next level.
+    MissNoAllocate,
+}
+
+impl Access {
+    /// Whether the access hit.
+    pub fn is_hit(&self) -> bool {
+        matches!(self, Access::Hit)
+    }
+}
+
+#[derive(Clone, Copy, Default)]
+struct Line {
+    tag: u64,
+    valid: bool,
+    dirty: bool,
+    /// Higher = more recently used.
+    lru: u64,
+}
+
+/// Hit/miss counters for assertions and diagnostics.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Read hits.
+    pub read_hits: u64,
+    /// Read misses.
+    pub read_misses: u64,
+    /// Write hits.
+    pub write_hits: u64,
+    /// Write misses.
+    pub write_misses: u64,
+    /// Dirty lines written back on eviction.
+    pub writebacks: u64,
+}
+
+/// One level of set-associative cache.
+pub struct Cache {
+    cfg: CacheConfig,
+    sets: Vec<Vec<Line>>,
+    clock: u64,
+    stats: CacheStats,
+}
+
+impl Cache {
+    /// Builds an empty (all-invalid) cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is inconsistent (size not divisible into
+    /// `ways * line`-byte sets, or line size not a power of two).
+    pub fn new(cfg: CacheConfig) -> Cache {
+        assert!(
+            cfg.line.is_power_of_two(),
+            "line size must be a power of two"
+        );
+        assert!(cfg.ways >= 1, "cache needs at least one way");
+        assert_eq!(
+            cfg.size % (cfg.line * cfg.ways),
+            0,
+            "size must divide into sets"
+        );
+        let sets = cfg.sets();
+        assert!(sets.is_power_of_two(), "set count must be a power of two");
+        Cache {
+            cfg,
+            sets: vec![vec![Line::default(); cfg.ways]; sets],
+            clock: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// The configured geometry.
+    pub fn config(&self) -> CacheConfig {
+        self.cfg
+    }
+
+    /// Accumulated hit/miss counters.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Invalidates every line (e.g. a fresh run on a cold machine).
+    pub fn flush(&mut self) {
+        for set in &mut self.sets {
+            for line in set {
+                *line = Line::default();
+            }
+        }
+    }
+
+    fn index(&self, addr: u64) -> (usize, u64) {
+        let line_addr = addr / self.cfg.line as u64;
+        let set = (line_addr as usize) & (self.sets.len() - 1);
+        let tag = line_addr >> self.sets.len().trailing_zeros();
+        (set, tag)
+    }
+
+    fn find(&mut self, set: usize, tag: u64) -> Option<usize> {
+        self.sets[set].iter().position(|l| l.valid && l.tag == tag)
+    }
+
+    fn touch(&mut self, set: usize, way: usize) {
+        self.clock += 1;
+        self.sets[set][way].lru = self.clock;
+    }
+
+    fn victim(&self, set: usize) -> usize {
+        // Prefer an invalid way, then least recently used.
+        if let Some(w) = self.sets[set].iter().position(|l| !l.valid) {
+            return w;
+        }
+        self.sets[set]
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, l)| l.lru)
+            .map(|(w, _)| w)
+            .expect("cache set is never empty")
+    }
+
+    /// Performs a read of the line containing `addr`. A miss allocates.
+    pub fn read(&mut self, addr: u64) -> Access {
+        let (set, tag) = self.index(addr);
+        if let Some(way) = self.find(set, tag) {
+            self.touch(set, way);
+            self.stats.read_hits += 1;
+            return Access::Hit;
+        }
+        self.stats.read_misses += 1;
+        let way = self.victim(set);
+        let evicted_dirty = self.sets[set][way].valid && self.sets[set][way].dirty;
+        if evicted_dirty {
+            self.stats.writebacks += 1;
+        }
+        self.sets[set][way] = Line {
+            tag,
+            valid: true,
+            dirty: false,
+            lru: 0,
+        };
+        self.touch(set, way);
+        Access::Miss { evicted_dirty }
+    }
+
+    /// Performs a write to the line containing `addr`.
+    ///
+    /// On a hit the line is marked dirty. On a miss the behaviour depends
+    /// on `write_allocate`: the Pentium-style configuration returns
+    /// [`Access::MissNoAllocate`] and leaves the cache untouched.
+    pub fn write(&mut self, addr: u64) -> Access {
+        let (set, tag) = self.index(addr);
+        if let Some(way) = self.find(set, tag) {
+            self.touch(set, way);
+            self.sets[set][way].dirty = true;
+            self.stats.write_hits += 1;
+            return Access::Hit;
+        }
+        self.stats.write_misses += 1;
+        if !self.cfg.write_allocate {
+            return Access::MissNoAllocate;
+        }
+        let way = self.victim(set);
+        let evicted_dirty = self.sets[set][way].valid && self.sets[set][way].dirty;
+        if evicted_dirty {
+            self.stats.writebacks += 1;
+        }
+        self.sets[set][way] = Line {
+            tag,
+            valid: true,
+            dirty: true,
+            lru: 0,
+        };
+        self.touch(set, way);
+        Access::Miss { evicted_dirty }
+    }
+
+    /// Whether the line containing `addr` is present (no LRU side effect).
+    pub fn probe(&self, addr: u64) -> bool {
+        let line_addr = addr / self.cfg.line as u64;
+        let set = (line_addr as usize) & (self.sets.len() - 1);
+        let tag = line_addr >> self.sets.len().trailing_zeros();
+        self.sets[set].iter().any(|l| l.valid && l.tag == tag)
+    }
+
+    /// Number of valid lines currently held; never exceeds capacity.
+    pub fn valid_lines(&self) -> usize {
+        self.sets.iter().flatten().filter(|l| l.valid).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Cache {
+        // 4 sets x 2 ways x 32B lines = 256 bytes.
+        Cache::new(CacheConfig {
+            size: 256,
+            ways: 2,
+            line: 32,
+            write_allocate: false,
+        })
+    }
+
+    #[test]
+    fn geometry() {
+        assert_eq!(CacheConfig::p54c_l1d().sets(), 128);
+        assert_eq!(CacheConfig::plato_l2().sets(), 8192);
+        assert_eq!(tiny().config().sets(), 4);
+    }
+
+    #[test]
+    fn read_miss_then_hit() {
+        let mut c = tiny();
+        assert_eq!(
+            c.read(0x40),
+            Access::Miss {
+                evicted_dirty: false
+            }
+        );
+        assert_eq!(c.read(0x40), Access::Hit);
+        assert_eq!(c.read(0x5f), Access::Hit, "same 32-byte line");
+        assert_eq!(
+            c.read(0x60),
+            Access::Miss {
+                evicted_dirty: false
+            },
+            "next line"
+        );
+    }
+
+    #[test]
+    fn write_miss_does_not_allocate() {
+        let mut c = tiny();
+        assert_eq!(c.write(0x100), Access::MissNoAllocate);
+        assert_eq!(c.write(0x100), Access::MissNoAllocate, "still not cached");
+        assert!(!c.probe(0x100));
+        // After a read brings the line in, writes hit.
+        assert!(!c.read(0x100).is_hit());
+        assert_eq!(c.write(0x100), Access::Hit);
+    }
+
+    #[test]
+    fn write_allocate_variant_allocates() {
+        let mut c = Cache::new(CacheConfig {
+            size: 256,
+            ways: 2,
+            line: 32,
+            write_allocate: true,
+        });
+        assert_eq!(
+            c.write(0x100),
+            Access::Miss {
+                evicted_dirty: false
+            }
+        );
+        assert_eq!(c.write(0x100), Access::Hit);
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let mut c = tiny();
+        // Set 0 holds lines with addresses k * 4*32 (4 sets) -> 0x0, 0x80...
+        c.read(0x000); // way A
+        c.read(0x080); // way B (same set: 0x80/32 = 4, 4 % 4 = 0)
+        c.read(0x000); // touch A
+        c.read(0x100); // evicts B (LRU)
+        assert!(c.probe(0x000));
+        assert!(!c.probe(0x080));
+        assert!(c.probe(0x100));
+    }
+
+    #[test]
+    fn dirty_eviction_reports_writeback() {
+        let mut c = tiny();
+        c.read(0x000);
+        c.write(0x000); // dirty
+        c.read(0x080);
+        match c.read(0x100) {
+            // 0x000 is LRU and dirty.
+            Access::Miss { evicted_dirty } => assert!(evicted_dirty),
+            other => panic!("expected miss, got {other:?}"),
+        }
+        assert_eq!(c.stats().writebacks, 1);
+    }
+
+    #[test]
+    fn capacity_never_exceeded() {
+        let mut c = tiny();
+        for i in 0..1000u64 {
+            c.read(i * 32);
+        }
+        assert!(c.valid_lines() <= 8);
+        assert_eq!(c.valid_lines(), 8, "a big scan fills the cache exactly");
+    }
+
+    #[test]
+    fn flush_empties() {
+        let mut c = tiny();
+        c.read(0);
+        c.flush();
+        assert_eq!(c.valid_lines(), 0);
+        assert!(!c.probe(0));
+    }
+
+    #[test]
+    fn stats_count() {
+        let mut c = tiny();
+        c.read(0);
+        c.read(0);
+        c.write(0);
+        c.write(0x4000);
+        let s = c.stats();
+        assert_eq!(s.read_hits, 1);
+        assert_eq!(s.read_misses, 1);
+        assert_eq!(s.write_hits, 1);
+        assert_eq!(s.write_misses, 1);
+    }
+}

@@ -1,0 +1,357 @@
+//! The two-level Pentium memory system and its cycle costs.
+//!
+//! The model is deliberately coarse: constant per-event costs for line
+//! fills, write-buffer drains and writebacks, calibrated so that the
+//! steady-state bandwidths match the plateaus of the paper's Figures 2-8
+//! (~300 MB/s from L1, ~110 MB/s from L2, ~75 MB/s from DRAM for reads;
+//! <50 MB/s for non-allocating writes).
+
+use crate::cache::{Access, Cache, CacheConfig};
+use crate::tlb::Tlb;
+
+/// Cycle costs of the memory system events.
+#[derive(Clone, Copy, Debug)]
+pub struct MemTiming {
+    /// Filling a 32-byte line into L1 from a hitting L2.
+    pub l2_fill: u64,
+    /// Filling a 32-byte line into L1+L2 from DRAM.
+    pub dram_fill: u64,
+    /// One word written through to a line that hits in L2 (L1 missed).
+    pub l2_write_word: u64,
+    /// One word drained through the write buffers to DRAM.
+    pub dram_write_word: u64,
+    /// Writing back a dirty L1 victim whose line is present in L2.
+    pub writeback_l2: u64,
+    /// Writing back a dirty victim all the way to DRAM.
+    pub writeback_dram: u64,
+}
+
+impl MemTiming {
+    /// Calibrated defaults for the 100 MHz P54C with the Plato L2.
+    pub fn p54c() -> MemTiming {
+        MemTiming {
+            l2_fill: 18,
+            dram_fill: 31,
+            l2_write_word: 2,
+            dram_write_word: 7,
+            writeback_l2: 10,
+            writeback_dram: 16,
+        }
+    }
+
+    /// Returns a copy with every cost scaled by `factor` (used by the
+    /// harness to model run-to-run DRAM/refresh jitter).
+    pub fn scaled(&self, factor: f64) -> MemTiming {
+        let s = |c: u64| ((c as f64) * factor).round().max(1.0) as u64;
+        MemTiming {
+            l2_fill: s(self.l2_fill),
+            dram_fill: s(self.dram_fill),
+            l2_write_word: s(self.l2_write_word),
+            dram_write_word: s(self.dram_write_word),
+            writeback_l2: s(self.writeback_l2),
+            writeback_dram: s(self.writeback_dram),
+        }
+    }
+}
+
+/// The modelled CPU-side memory system: data TLB, L1 data cache,
+/// unified L2, DRAM.
+pub struct MemSystem {
+    dtlb: Tlb,
+    l1d: Cache,
+    l2: Cache,
+    timing: MemTiming,
+    cycles: u64,
+}
+
+impl MemSystem {
+    /// Builds the P54C/Plato memory system with calibrated timing.
+    pub fn p54c() -> MemSystem {
+        MemSystem::new(
+            CacheConfig::p54c_l1d(),
+            CacheConfig::plato_l2(),
+            MemTiming::p54c(),
+        )
+    }
+
+    /// Builds a memory system with explicit geometry and timing.
+    pub fn new(l1d: CacheConfig, l2: CacheConfig, timing: MemTiming) -> MemSystem {
+        MemSystem {
+            dtlb: Tlb::p54c_dtlb(),
+            l1d: Cache::new(l1d),
+            l2: Cache::new(l2),
+            timing,
+            cycles: 0,
+        }
+    }
+
+    /// Cycles accumulated by memory-system events (excludes loop costs,
+    /// which the routine models add themselves).
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    /// Charges extra cycles (used by routine models for loop overhead).
+    pub fn charge(&mut self, cycles: u64) {
+        self.cycles += cycles;
+    }
+
+    /// Resets the cycle counter without touching cache state.
+    pub fn reset_cycles(&mut self) {
+        self.cycles = 0;
+    }
+
+    /// Invalidates both cache levels and the TLB (cold start).
+    pub fn flush(&mut self) {
+        self.dtlb.flush();
+        self.l1d.flush();
+        self.l2.flush();
+    }
+
+    /// The data TLB (for tests and reports).
+    pub fn dtlb(&self) -> &Tlb {
+        &self.dtlb
+    }
+
+    /// The L1 data cache (for assertions in tests).
+    pub fn l1d(&self) -> &Cache {
+        &self.l1d
+    }
+
+    /// The L2 cache (for assertions in tests).
+    pub fn l2(&self) -> &Cache {
+        &self.l2
+    }
+
+    /// Loads the word at `addr`, charging translation, fill and
+    /// writeback costs. Returns the level that serviced the access.
+    pub fn read_word(&mut self, addr: u64) -> Level {
+        self.cycles += self.dtlb.access(addr);
+        match self.l1d.read(addr) {
+            Access::Hit => Level::L1,
+            Access::Miss { evicted_dirty } => {
+                if evicted_dirty {
+                    // The victim's line is (almost always) still in L2 in
+                    // this mostly-inclusive hierarchy.
+                    self.cycles += self.timing.writeback_l2;
+                }
+                match self.l2.read(addr) {
+                    Access::Hit => {
+                        self.cycles += self.timing.l2_fill;
+                        Level::L2
+                    }
+                    Access::Miss {
+                        evicted_dirty: l2_dirty,
+                    } => {
+                        if l2_dirty {
+                            self.cycles += self.timing.writeback_dram;
+                        }
+                        self.cycles += self.timing.dram_fill;
+                        Level::Dram
+                    }
+                    Access::MissNoAllocate => unreachable!("reads always allocate"),
+                }
+            }
+            Access::MissNoAllocate => unreachable!("reads always allocate"),
+        }
+    }
+
+    /// Stores the word at `addr`; returns the level that absorbed it.
+    ///
+    /// A write that misses both levels does **not** allocate (the Pentium
+    /// behaviour at the heart of Section 6) and pays the write-buffer
+    /// drain cost to DRAM.
+    pub fn write_word(&mut self, addr: u64) -> Level {
+        self.cycles += self.dtlb.access(addr);
+        match self.l1d.write(addr) {
+            Access::Hit => Level::L1,
+            Access::MissNoAllocate => match self.l2.write(addr) {
+                Access::Hit => {
+                    self.cycles += self.timing.l2_write_word;
+                    Level::L2
+                }
+                Access::MissNoAllocate => {
+                    self.cycles += self.timing.dram_write_word;
+                    Level::Dram
+                }
+                Access::Miss { .. } => unreachable!("L2 does not write-allocate"),
+            },
+            Access::Miss { .. } => unreachable!("L1 does not write-allocate"),
+        }
+    }
+
+    /// Loads `n` consecutive words that all lie within one cache line.
+    /// Only the first can miss; the rest hit for free.
+    pub fn read_words(&mut self, addr: u64, n: u32) -> Level {
+        debug_assert!(same_line(
+            addr,
+            addr + (n.max(1) as u64 - 1) * 4,
+            self.l1d.config().line
+        ));
+        self.read_word(addr)
+    }
+
+    /// Stores `n` consecutive words within one cache line, charging the
+    /// per-word drain cost for every word when the line is not in L1.
+    pub fn write_words(&mut self, addr: u64, n: u32) -> Level {
+        debug_assert!(same_line(
+            addr,
+            addr + (n.max(1) as u64 - 1) * 4,
+            self.l1d.config().line
+        ));
+        let level = self.write_word(addr);
+        let extra = n.saturating_sub(1) as u64;
+        match level {
+            Level::L1 => {}
+            Level::L2 => self.cycles += extra * self.timing.l2_write_word,
+            Level::Dram => self.cycles += extra * self.timing.dram_write_word,
+        }
+        level
+    }
+
+    /// Software prefetch of the line containing `addr`: implemented by the
+    /// paper's trick of loading one word of the destination line so later
+    /// stores hit. Charges one extra cycle for the load instruction.
+    pub fn prefetch_line(&mut self, addr: u64) {
+        self.cycles += 1;
+        self.read_word(addr);
+    }
+}
+
+/// Which level of the hierarchy serviced an access.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Level {
+    /// L1 data cache.
+    L1,
+    /// Unified board-level L2.
+    L2,
+    /// Main memory (or the write buffers draining into it).
+    Dram,
+}
+
+fn same_line(a: u64, b: u64, line: usize) -> bool {
+    a / line as u64 == b / line as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn l1_hit_is_free() {
+        let mut m = MemSystem::p54c();
+        m.read_word(0x1000);
+        let after_fill = m.cycles();
+        // First touch pays the TLB walk plus the DRAM line fill.
+        assert_eq!(
+            after_fill,
+            MemTiming::p54c().dram_fill + crate::tlb::WALK_CY
+        );
+        m.read_word(0x1004);
+        assert_eq!(m.cycles(), after_fill, "same line: free");
+    }
+
+    #[test]
+    fn l2_fill_cheaper_than_dram() {
+        let mut m = MemSystem::p54c();
+        // Bring line into both levels, then force it out of L1 only by
+        // touching two conflicting lines (L1 is 2-way, sets 128 * 32B).
+        m.read_word(0x0);
+        m.read_word(128 * 32); // same L1 set, way 2
+        m.read_word(2 * 128 * 32); // evicts 0x0 from L1; L2 still has it
+        m.reset_cycles();
+        m.read_word(0x0);
+        assert_eq!(m.cycles(), MemTiming::p54c().l2_fill);
+    }
+
+    #[test]
+    fn write_miss_goes_to_dram_every_time() {
+        let mut m = MemSystem::p54c();
+        m.write_word(0x2000);
+        m.write_word(0x2000);
+        m.write_word(0x2004);
+        // One TLB walk (all in one page), three write-buffer drains.
+        assert_eq!(
+            m.cycles(),
+            3 * MemTiming::p54c().dram_write_word + crate::tlb::WALK_CY
+        );
+        assert!(!m.l1d().probe(0x2000), "no write-allocate");
+    }
+
+    #[test]
+    fn prefetch_converts_writes_to_hits() {
+        let mut m = MemSystem::p54c();
+        m.prefetch_line(0x3000);
+        m.reset_cycles();
+        for w in 0..8 {
+            m.write_word(0x3000 + w * 4);
+        }
+        assert_eq!(m.cycles(), 0, "all eight word stores hit the fetched line");
+    }
+
+    #[test]
+    fn dirty_writeback_charged_on_eviction() {
+        let mut m = MemSystem::p54c();
+        m.read_word(0x0);
+        m.write_word(0x0); // line now dirty in L1
+        m.read_word(128 * 32);
+        m.reset_cycles();
+        m.read_word(2 * 128 * 32); // evicts dirty 0x0 (new page: walk)
+        let t = MemTiming::p54c();
+        assert_eq!(
+            m.cycles(),
+            t.writeback_l2 + t.dram_fill + crate::tlb::WALK_CY
+        );
+    }
+
+    #[test]
+    fn levels_reported() {
+        let mut m = MemSystem::p54c();
+        assert_eq!(m.read_word(0x0), Level::Dram);
+        assert_eq!(m.read_word(0x0), Level::L1);
+        m.read_word(128 * 32);
+        m.read_word(2 * 128 * 32);
+        assert_eq!(
+            m.read_word(0x0),
+            Level::L2,
+            "evicted from L1 but present in L2"
+        );
+        assert_eq!(m.write_word(0x9000), Level::Dram);
+    }
+
+    #[test]
+    fn write_words_charges_per_word_drain() {
+        let mut m = MemSystem::p54c();
+        let t = MemTiming::p54c();
+        m.write_words(0x4000, 4);
+        assert_eq!(m.cycles(), 4 * t.dram_write_word + crate::tlb::WALK_CY);
+        m.reset_cycles();
+        m.read_word(0x5000);
+        m.reset_cycles();
+        m.write_words(0x5000, 4);
+        assert_eq!(m.cycles(), 0, "cached line absorbs all four stores");
+    }
+
+    #[test]
+    fn read_words_single_fill() {
+        let mut m = MemSystem::p54c();
+        let t = MemTiming::p54c();
+        m.read_words(0x6000, 4);
+        assert_eq!(m.cycles(), t.dram_fill + crate::tlb::WALK_CY);
+        m.read_words(0x6010, 4);
+        assert_eq!(
+            m.cycles(),
+            t.dram_fill + crate::tlb::WALK_CY,
+            "second half of the line is free"
+        );
+    }
+
+    #[test]
+    fn scaled_timing() {
+        let t = MemTiming::p54c().scaled(2.0);
+        assert_eq!(t.dram_fill, 62);
+        assert_eq!(t.l2_write_word, 4);
+        let tiny = MemTiming::p54c().scaled(0.0001);
+        assert!(tiny.l2_write_word >= 1, "costs never collapse to zero");
+    }
+}

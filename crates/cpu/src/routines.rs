@@ -1,0 +1,396 @@
+//! Models of the memory routines benchmarked in Section 6 of the paper.
+//!
+//! The paper's custom benchmarks share one structure: an inner loop that
+//! handles 16 bytes per iteration, followed by a byte-at-a-time loop for
+//! the remaining 0-15 bytes. The byte loop is far slower per byte, which
+//! produces the bandwidth dips at small buffer sizes that Section 6.4
+//! explains. The prefetching variants load one word of each destination
+//! line before storing to it, converting the Pentium's non-allocating
+//! write misses into cache hits.
+//!
+//! All loop-cost constants are in CPU cycles and are calibrated against
+//! the plateaus of Figures 2-8 (see `DESIGN.md`).
+
+use crate::memsys::MemSystem;
+
+/// Bytes handled per iteration of the paper's unrolled inner loop.
+pub const CHUNK: u64 = 16;
+
+/// Word size of the 32-bit Pentium.
+pub const WORD: u64 = 4;
+
+/// Cycles per 16-byte iteration of the custom read loop (four dual-issued
+/// loads plus loop control: the paper measures four words every ~50 ns).
+pub const READ_ITER_CY: u64 = 5;
+
+/// Cycles per 16-byte iteration of the custom write loop.
+pub const WRITE_ITER_CY: u64 = 5;
+
+/// Cycles per 16-byte iteration of the custom copy loop (four loads and
+/// four stores cannot pair as well as pure loads).
+pub const COPY_ITER_CY: u64 = 9;
+
+/// Cycles per byte of the remainder loop — the source of the dips.
+pub const REMAINDER_BYTE_CY: u64 = 4;
+
+/// Which system library supplied `memset`/`memcpy`. The three libcs of
+/// 1995 differ only marginally here: none of them prefetch (the paper's
+/// central finding), so they differ in call overhead and loop tightness.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LibcVariant {
+    /// Linux 1.2.8 + libc 5: slightly tighter hand-written assembly.
+    Linux,
+    /// FreeBSD 2.0.5R libc.
+    FreeBsd,
+    /// Solaris 2.4 libc.
+    Solaris,
+}
+
+impl LibcVariant {
+    /// Fixed per-call overhead in cycles.
+    pub fn call_overhead_cy(self) -> u64 {
+        match self {
+            LibcVariant::Linux => 30,
+            LibcVariant::FreeBsd => 40,
+            LibcVariant::Solaris => 50,
+        }
+    }
+
+    /// All three variants, in the paper's usual order.
+    pub fn all() -> [LibcVariant; 3] {
+        [
+            LibcVariant::Linux,
+            LibcVariant::FreeBsd,
+            LibcVariant::Solaris,
+        ]
+    }
+}
+
+/// A memory routine under benchmark.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MemRoutine {
+    /// Figure 2: custom read loop.
+    CustomRead,
+    /// Figure 4: custom write loop without prefetch.
+    CustomWriteNaive,
+    /// Figure 5: custom write loop with software prefetch.
+    CustomWritePrefetch,
+    /// Figure 7: custom copy loop without prefetch.
+    CustomCopyNaive,
+    /// Figure 8: custom copy loop with software prefetch.
+    CustomCopyPrefetch,
+    /// Figure 3: the system library's `memset`.
+    LibcMemset(LibcVariant),
+    /// Figure 6: the system library's `memcpy`.
+    LibcMemcpy(LibcVariant),
+}
+
+impl MemRoutine {
+    /// Whether the routine moves two buffers (copy) or one.
+    pub fn is_copy(self) -> bool {
+        matches!(
+            self,
+            MemRoutine::CustomCopyNaive
+                | MemRoutine::CustomCopyPrefetch
+                | MemRoutine::LibcMemcpy(_)
+        )
+    }
+}
+
+/// One pass of the routine over a `len`-byte buffer at `src` (and, for
+/// copies, a destination at `dst`). Buffers are 32-byte aligned, as the
+/// benchmark's allocator guarantees.
+pub fn run_pass(mem: &mut MemSystem, routine: MemRoutine, src: u64, dst: u64, len: u64) {
+    debug_assert_eq!(src % 32, 0, "source must be line aligned");
+    debug_assert_eq!(dst % 32, 0, "destination must be line aligned");
+    match routine {
+        MemRoutine::CustomRead => custom_read(mem, src, len),
+        MemRoutine::CustomWriteNaive => custom_write(mem, src, len, false),
+        MemRoutine::CustomWritePrefetch => custom_write(mem, src, len, true),
+        MemRoutine::CustomCopyNaive => custom_copy(mem, src, dst, len, false),
+        MemRoutine::CustomCopyPrefetch => custom_copy(mem, src, dst, len, true),
+        MemRoutine::LibcMemset(v) => libc_memset(mem, src, len, v),
+        MemRoutine::LibcMemcpy(v) => libc_memcpy(mem, src, dst, len, v),
+    }
+}
+
+fn custom_read(mem: &mut MemSystem, base: u64, len: u64) {
+    let main = len - len % CHUNK;
+    let mut off = 0;
+    while off < main {
+        mem.charge(READ_ITER_CY);
+        mem.read_words(base + off, 4);
+        off += CHUNK;
+    }
+    remainder_read(mem, base + main, len - main);
+}
+
+fn custom_write(mem: &mut MemSystem, base: u64, len: u64, prefetch: bool) {
+    let line = 32;
+    let main = len - len % CHUNK;
+    let mut off = 0;
+    while off < main {
+        mem.charge(WRITE_ITER_CY);
+        let addr = base + off;
+        if prefetch && addr.is_multiple_of(line) {
+            mem.prefetch_line(addr);
+        }
+        mem.write_words(addr, 4);
+        off += CHUNK;
+    }
+    remainder_write(mem, base + main, len - main);
+}
+
+fn custom_copy(mem: &mut MemSystem, src: u64, dst: u64, len: u64, prefetch: bool) {
+    let line = 32;
+    let main = len - len % CHUNK;
+    let mut off = 0;
+    while off < main {
+        mem.charge(COPY_ITER_CY);
+        if prefetch && (dst + off).is_multiple_of(line) {
+            mem.prefetch_line(dst + off);
+        }
+        mem.read_words(src + off, 4);
+        mem.write_words(dst + off, 4);
+        off += CHUNK;
+    }
+    // Remainder: read a byte, write a byte.
+    let rem_base = main;
+    for b in 0..(len - main) {
+        mem.charge(2 * REMAINDER_BYTE_CY);
+        mem.read_words(src + rem_base + b, 1);
+        mem.write_words(dst + rem_base + b, 1);
+    }
+}
+
+fn libc_memset(mem: &mut MemSystem, base: u64, len: u64, variant: LibcVariant) {
+    mem.charge(variant.call_overhead_cy());
+    // `rep stosl`-style fill: slightly tighter than the custom loop, and
+    // the tail is handled at word speed (no slow byte loop).
+    let main = len - len % CHUNK;
+    let mut off = 0;
+    while off < main {
+        mem.charge(4);
+        mem.write_words(base + off, 4);
+        off += CHUNK;
+    }
+    let rem = len - main;
+    if rem > 0 {
+        mem.charge(rem);
+        mem.write_words(base + main, rem.div_ceil(WORD) as u32);
+    }
+}
+
+fn libc_memcpy(mem: &mut MemSystem, src: u64, dst: u64, len: u64, variant: LibcVariant) {
+    mem.charge(variant.call_overhead_cy());
+    let main = len - len % CHUNK;
+    let mut off = 0;
+    while off < main {
+        mem.charge(COPY_ITER_CY);
+        mem.read_words(src + off, 4);
+        mem.write_words(dst + off, 4);
+        off += CHUNK;
+    }
+    let rem = len - main;
+    if rem > 0 {
+        mem.charge(2 * rem);
+        mem.read_words(src + main, rem.div_ceil(WORD) as u32);
+        mem.write_words(dst + main, rem.div_ceil(WORD) as u32);
+    }
+}
+
+fn remainder_read(mem: &mut MemSystem, base: u64, rem: u64) {
+    for b in 0..rem {
+        mem.charge(REMAINDER_BYTE_CY);
+        mem.read_words(base + b, 1);
+    }
+}
+
+fn remainder_write(mem: &mut MemSystem, base: u64, rem: u64) {
+    for b in 0..rem {
+        mem.charge(REMAINDER_BYTE_CY);
+        mem.write_words(base + b, 1);
+    }
+}
+
+/// Result of one bandwidth measurement.
+#[derive(Clone, Copy, Debug)]
+pub struct BandwidthPoint {
+    /// Buffer size in bytes.
+    pub buf_bytes: u64,
+    /// Total bytes transferred (copies count each byte once, matching the
+    /// paper: a 160 MB/s copy is "320 MB/s of total bandwidth").
+    pub bytes: u64,
+    /// Simulated cycles consumed.
+    pub cycles: u64,
+    /// Bandwidth in 2^20-byte megabytes per second.
+    pub mb_per_sec: f64,
+}
+
+/// Where the benchmark's buffers live: contiguous, line-aligned, as the
+/// original C benchmark's allocator produced.
+fn buffer_layout(buf: u64) -> (u64, u64) {
+    let src = 0x0010_0000;
+    let dst = src + buf.next_multiple_of(32) + 8 * 32;
+    (src, dst)
+}
+
+/// Measures the bandwidth of `routine` on a `buf`-byte buffer, reusing the
+/// buffer until at least `total` bytes have been transferred — exactly the
+/// methodology of Section 6 (8 MB of traffic per measurement).
+pub fn measure(mem: &mut MemSystem, routine: MemRoutine, buf: u64, total: u64) -> BandwidthPoint {
+    assert!(buf > 0, "buffer must be non-empty");
+    mem.flush();
+    mem.reset_cycles();
+    let passes = total.div_ceil(buf).max(1);
+    let (src, dst) = buffer_layout(buf);
+    for _ in 0..passes {
+        run_pass(mem, routine, src, dst, buf);
+    }
+    let bytes = passes * buf;
+    let cycles = mem.cycles();
+    let secs = cycles as f64 / crate::CPU_HZ as f64;
+    BandwidthPoint {
+        buf_bytes: buf,
+        bytes,
+        cycles,
+        mb_per_sec: bytes as f64 / (1024.0 * 1024.0) / secs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::memsys::MemSystem;
+
+    const TEST_TOTAL: u64 = 1 << 20; // 1 MB of traffic keeps tests fast.
+
+    fn bw(routine: MemRoutine, buf: u64) -> f64 {
+        let mut mem = MemSystem::p54c();
+        measure(&mut mem, routine, buf, TEST_TOTAL).mb_per_sec
+    }
+
+    #[test]
+    fn read_shows_three_plateaus() {
+        let l1 = bw(MemRoutine::CustomRead, 4 * 1024);
+        let l2 = bw(MemRoutine::CustomRead, 64 * 1024);
+        let dram = bw(MemRoutine::CustomRead, 1 << 20);
+        assert!(
+            l1 > 280.0 && l1 < 340.0,
+            "L1 read plateau ~300+ MB/s, got {l1}"
+        );
+        assert!(
+            l2 > 95.0 && l2 < 125.0,
+            "L2 read plateau ~110 MB/s, got {l2}"
+        );
+        assert!(
+            dram > 65.0 && dram < 85.0,
+            "DRAM read plateau ~75 MB/s, got {dram}"
+        );
+        assert!(l1 > l2 && l2 > dram);
+    }
+
+    #[test]
+    fn memset_never_reaches_fifty() {
+        for buf in [1024u64, 8 * 1024, 64 * 1024, 1 << 20] {
+            for v in LibcVariant::all() {
+                let b = bw(MemRoutine::LibcMemset(v), buf);
+                assert!(b < 50.0, "memset({v:?}, {buf}) = {b} MB/s, paper says <50");
+                assert!(b > 30.0, "memset should still be tens of MB/s, got {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn naive_write_resembles_memset() {
+        let custom = bw(MemRoutine::CustomWriteNaive, 16 * 1024);
+        let libc = bw(MemRoutine::LibcMemset(LibcVariant::Linux), 16 * 1024);
+        assert!(
+            (custom - libc).abs() / libc < 0.25,
+            "custom {custom} vs libc {libc}"
+        );
+    }
+
+    #[test]
+    fn prefetch_write_peaks_near_310() {
+        let peak = bw(MemRoutine::CustomWritePrefetch, 4 * 1024);
+        assert!(
+            peak > 260.0 && peak < 340.0,
+            "prefetch write peak ~310, got {peak}"
+        );
+        let naive = bw(MemRoutine::CustomWriteNaive, 4 * 1024);
+        assert!(peak > 5.0 * naive, "prefetch is a dramatic improvement");
+    }
+
+    #[test]
+    fn prefetch_write_helps_beyond_cache_too() {
+        let pf = bw(MemRoutine::CustomWritePrefetch, 1 << 20);
+        let naive = bw(MemRoutine::CustomWriteNaive, 1 << 20);
+        assert!(
+            pf > naive,
+            "prefetch {pf} should beat naive {naive} even in DRAM"
+        );
+    }
+
+    #[test]
+    fn copy_matches_paper_shape() {
+        let naive = bw(MemRoutine::CustomCopyNaive, 4 * 1024);
+        assert!(
+            naive > 30.0 && naive < 55.0,
+            "naive copy ~40 MB/s, got {naive}"
+        );
+        let pf = bw(MemRoutine::CustomCopyPrefetch, 4 * 1024);
+        assert!(
+            pf > 140.0 && pf < 190.0,
+            "prefetch copy ~160 MB/s, got {pf}"
+        );
+        let libc = bw(MemRoutine::LibcMemcpy(LibcVariant::FreeBsd), 4 * 1024);
+        assert!(
+            (libc - naive).abs() / naive < 0.25,
+            "memcpy {libc} resembles naive {naive}"
+        );
+    }
+
+    #[test]
+    fn remainder_loop_causes_dip() {
+        // A 527-byte buffer leaves 15 bytes for the slow byte loop.
+        let aligned = bw(MemRoutine::CustomRead, 512);
+        let ragged = bw(MemRoutine::CustomRead, 527);
+        assert!(
+            ragged < aligned * 0.9,
+            "15 remainder bytes should dip bandwidth: {ragged} vs {aligned}"
+        );
+        // The dip washes out for large buffers.
+        let big_aligned = bw(MemRoutine::CustomRead, 65536);
+        let big_ragged = bw(MemRoutine::CustomRead, 65536 + 15);
+        assert!((big_ragged - big_aligned).abs() / big_aligned < 0.02);
+    }
+
+    #[test]
+    fn libc_variants_rank_by_overhead() {
+        // Small buffers magnify per-call overhead: Linux < FreeBSD < Solaris.
+        let linux = bw(MemRoutine::LibcMemset(LibcVariant::Linux), 256);
+        let freebsd = bw(MemRoutine::LibcMemset(LibcVariant::FreeBsd), 256);
+        let solaris = bw(MemRoutine::LibcMemset(LibcVariant::Solaris), 256);
+        assert!(linux > freebsd && freebsd > solaris);
+    }
+
+    #[test]
+    fn measure_reports_consistent_fields() {
+        let mut mem = MemSystem::p54c();
+        let p = measure(&mut mem, MemRoutine::CustomRead, 1000, 10_000);
+        assert_eq!(p.buf_bytes, 1000);
+        assert_eq!(p.bytes, 10_000);
+        assert!(p.cycles > 0);
+        let recomputed = p.bytes as f64 / (1024.0 * 1024.0) / (p.cycles as f64 / 1e8);
+        assert!((p.mb_per_sec - recomputed).abs() < 1e-9);
+    }
+
+    #[test]
+    fn copy_buffers_do_not_overlap() {
+        let (src, dst) = buffer_layout(4096);
+        assert!(dst >= src + 4096);
+        assert_eq!(src % 32, 0);
+        assert_eq!(dst % 32, 0);
+    }
+}

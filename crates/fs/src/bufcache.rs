@@ -1,0 +1,445 @@
+//! The unified buffer cache.
+//!
+//! All three systems trade physical pages between the VM system and the
+//! file cache, which is why Figures 9-11 show a cliff near 20 MB on the
+//! 32 MB machine: the cache can grow to roughly that size. The cache is
+//! an LRU over filesystem blocks with delayed writes: dirty blocks
+//! accumulate until a high-water mark, then the writing process flushes
+//! them in ascending disk order as clustered sequential transfers (the
+//! classic self-throttling write-behind of 1990s kernels).
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::disk::{Disk, IoKind};
+use tnt_os::KEnv;
+use tnt_sim::Cycles;
+
+/// Cache geometry and write-behind policy.
+#[derive(Clone, Copy, Debug)]
+pub struct CacheParams {
+    /// Maximum cache size in bytes (~20 MB on the 32 MB machine).
+    pub capacity_bytes: u64,
+    /// Cache block size = filesystem block size, in bytes.
+    pub block_bytes: u64,
+    /// Dirty bytes that trigger a flush by the writing process.
+    pub dirty_hiwater_bytes: u64,
+    /// Largest contiguous run written per disk command during a flush,
+    /// in cache blocks (write clustering quality differs per OS).
+    pub write_cluster_blocks: u64,
+    /// CPU cost per cache block operation (hash lookup, buffer headers).
+    pub per_block_cpu_cy: u64,
+}
+
+#[derive(Clone, Copy)]
+struct Entry {
+    seq: u64,
+    dirty: bool,
+}
+
+struct CState {
+    seq: u64,
+    /// addr (in 1 KB disk blocks, block-aligned) -> entry.
+    map: HashMap<u64, Entry>,
+    /// LRU order: seq -> addr.
+    order: BTreeMap<u64, u64>,
+    dirty: BTreeSet<u64>,
+    hits: u64,
+    misses: u64,
+}
+
+/// A write-behind LRU buffer cache in front of one disk.
+pub struct BufferCache {
+    disk: Arc<Disk>,
+    params: CacheParams,
+    state: Mutex<CState>,
+}
+
+impl BufferCache {
+    /// An empty cache over `disk`.
+    pub fn new(disk: Arc<Disk>, params: CacheParams) -> BufferCache {
+        assert!(params.block_bytes >= 1024 && params.block_bytes.is_multiple_of(1024));
+        assert!(params.capacity_bytes >= params.block_bytes);
+        BufferCache {
+            disk,
+            params,
+            state: Mutex::new(CState {
+                seq: 0,
+                map: HashMap::new(),
+                order: BTreeMap::new(),
+                dirty: BTreeSet::new(),
+                hits: 0,
+                misses: 0,
+            }),
+        }
+    }
+
+    /// The cache parameters.
+    pub fn params(&self) -> CacheParams {
+        self.params
+    }
+
+    fn bs_kb(&self) -> u64 {
+        self.params.block_bytes / 1024
+    }
+
+    fn capacity_blocks(&self) -> u64 {
+        self.params.capacity_bytes / self.params.block_bytes
+    }
+
+    /// (hits, misses) so far.
+    pub fn stats(&self) -> (u64, u64) {
+        let st = self.state.lock();
+        (st.hits, st.misses)
+    }
+
+    /// The underlying disk's (reads, writes, blocks moved).
+    pub fn disk_stats(&self) -> (u64, u64, u64) {
+        self.disk.stats()
+    }
+
+    /// Bytes of dirty data currently held.
+    pub fn dirty_bytes(&self) -> u64 {
+        self.state.lock().dirty.len() as u64 * self.params.block_bytes
+    }
+
+    /// Whether the block at `addr` is cached (tests).
+    pub fn contains(&self, addr: u64) -> bool {
+        self.state.lock().map.contains_key(&addr)
+    }
+
+    /// Whether the block at `addr` is dirty (not yet on disk).
+    pub fn is_dirty(&self, addr: u64) -> bool {
+        self.state.lock().dirty.contains(&addr)
+    }
+
+    fn touch(st: &mut CState, addr: u64) {
+        if let Some(e) = st.map.get_mut(&addr) {
+            st.order.remove(&e.seq);
+            st.seq += 1;
+            e.seq = st.seq;
+            st.order.insert(st.seq, addr);
+        }
+    }
+
+    fn insert(st: &mut CState, addr: u64, dirty: bool) {
+        st.seq += 1;
+        if let Some(old) = st.map.insert(addr, Entry { seq: st.seq, dirty }) {
+            st.order.remove(&old.seq);
+            if old.dirty && !dirty {
+                st.dirty.remove(&addr);
+            }
+        }
+        st.order.insert(st.seq, addr);
+        if dirty {
+            st.dirty.insert(addr);
+        }
+    }
+
+    /// Evicts LRU entries until there is room for `need` more blocks.
+    /// Returns the dirty victims that must be written out.
+    fn make_room(&self, st: &mut CState, need: u64) -> Vec<u64> {
+        let cap = self.capacity_blocks();
+        let mut victims = Vec::new();
+        while st.map.len() as u64 + need > cap {
+            let (&seq, &addr) = match st.order.iter().next() {
+                Some(kv) => kv,
+                None => break,
+            };
+            st.order.remove(&seq);
+            let e = st.map.remove(&addr).expect("order/map out of sync");
+            if e.dirty {
+                st.dirty.remove(&addr);
+                victims.push(addr);
+            }
+        }
+        victims
+    }
+
+    /// Reads the cache block at `addr` (1 KB-block address, aligned to the
+    /// cache block size). On a miss, reads `1 + readahead` consecutive
+    /// blocks from disk in one command. Returns whether it hit.
+    pub fn read(&self, env: &KEnv, addr: u64, readahead: u64) -> bool {
+        env.sim.charge(Cycles(self.params.per_block_cpu_cy));
+        let bs = self.bs_kb();
+        debug_assert_eq!(addr % bs, 0, "unaligned cache read");
+        let (hit, write_out) = {
+            let mut st = self.state.lock();
+            if st.map.contains_key(&addr) {
+                st.hits += 1;
+                Self::touch(&mut st, addr);
+                (true, Vec::new())
+            } else {
+                st.misses += 1;
+                let n = 1 + readahead;
+                let victims = self.make_room(&mut st, n);
+                for i in 0..n {
+                    Self::insert(&mut st, addr + i * bs, false);
+                }
+                (false, victims)
+            }
+        };
+        if !hit {
+            self.write_runs(env, &write_out);
+            self.disk.io(env, IoKind::Read, addr, (1 + readahead) * bs);
+        }
+        hit
+    }
+
+    /// Writes the cache block at `addr`.
+    ///
+    /// `sync` forces the block to disk before returning (FFS metadata).
+    /// Delayed writes accumulate; once the dirty high-water mark is hit,
+    /// the caller flushes down to half the mark, paying the disk time —
+    /// this is where sequential-write benchmarks become disk bound.
+    pub fn write(&self, env: &KEnv, addr: u64, sync: bool) {
+        env.sim.charge(Cycles(self.params.per_block_cpu_cy));
+        let bs = self.bs_kb();
+        debug_assert_eq!(addr % bs, 0, "unaligned cache write");
+        let write_out = {
+            let mut st = self.state.lock();
+            let victims = self.make_room(&mut st, 1);
+            Self::insert(&mut st, addr, !sync);
+            victims
+        };
+        self.write_runs(env, &write_out);
+        if sync {
+            self.disk.io(env, IoKind::Write, addr, bs);
+            return;
+        }
+        let hiwater_blocks = self.params.dirty_hiwater_bytes / self.params.block_bytes;
+        let need_flush = self.state.lock().dirty.len() as u64 > hiwater_blocks;
+        if need_flush {
+            self.flush_down_to(env, hiwater_blocks / 2);
+        }
+    }
+
+    /// Flushes dirty blocks (ascending disk order, clustered) until at
+    /// most `target_blocks` remain dirty.
+    fn flush_down_to(&self, env: &KEnv, target_blocks: u64) {
+        loop {
+            let run = {
+                let mut st = self.state.lock();
+                if st.dirty.len() as u64 <= target_blocks {
+                    return;
+                }
+                self.take_run(&mut st)
+            };
+            match run {
+                None => return,
+                Some((addr, nblocks)) => {
+                    self.disk
+                        .io(env, IoKind::Write, addr, nblocks * self.bs_kb());
+                }
+            }
+        }
+    }
+
+    /// Removes the first contiguous dirty run (up to the cluster limit)
+    /// and marks it clean; returns (start addr, blocks).
+    fn take_run(&self, st: &mut CState) -> Option<(u64, u64)> {
+        let bs = self.bs_kb();
+        let first = *st.dirty.iter().next()?;
+        let mut run = vec![first];
+        let mut next = first + bs;
+        while run.len() < self.params.write_cluster_blocks as usize && st.dirty.contains(&next) {
+            run.push(next);
+            next += bs;
+        }
+        for addr in &run {
+            st.dirty.remove(addr);
+            if let Some(e) = st.map.get_mut(addr) {
+                e.dirty = false;
+            }
+        }
+        Some((first, run.len() as u64))
+    }
+
+    /// Writes evicted dirty victims back, merging contiguous blocks into
+    /// clustered commands (sequential workloads evict in address order,
+    /// so this behaves like the elevator it models).
+    fn write_runs(&self, env: &KEnv, victims: &[u64]) {
+        if victims.is_empty() {
+            return;
+        }
+        let bs = self.bs_kb();
+        let mut sorted = victims.to_vec();
+        sorted.sort_unstable();
+        let mut start = sorted[0];
+        let mut len = 1u64;
+        for &addr in &sorted[1..] {
+            if addr == start + len * bs && len < self.params.write_cluster_blocks {
+                len += 1;
+            } else {
+                self.disk.io(env, IoKind::Write, start, len * bs);
+                start = addr;
+                len = 1;
+            }
+        }
+        self.disk.io(env, IoKind::Write, start, len * bs);
+    }
+
+    /// Writes out every dirty block (the `sync`/fresh-filesystem path).
+    pub fn flush_all(&self, env: &KEnv) {
+        self.flush_down_to(env, 0);
+    }
+
+    /// Drops the given blocks without writing them back — the fate of a
+    /// deleted file's delayed writes (ext2's asynchronous win: a compiler
+    /// temporary can live and die without ever touching the disk).
+    pub fn discard(&self, addrs: &[u64]) {
+        let mut st = self.state.lock();
+        for addr in addrs {
+            if let Some(e) = st.map.remove(addr) {
+                st.order.remove(&e.seq);
+                st.dirty.remove(addr);
+            }
+        }
+    }
+
+    /// Drops every entry without writing (mkfs of a scratch partition).
+    pub fn invalidate_all(&self) {
+        let mut st = self.state.lock();
+        st.map.clear();
+        st.order.clear();
+        st.dirty.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::disk::DiskParams;
+    use tnt_os::{boot, Os};
+
+    fn params() -> CacheParams {
+        CacheParams {
+            capacity_bytes: 64 * 1024,
+            block_bytes: 8192,
+            dirty_hiwater_bytes: 32 * 1024,
+            write_cluster_blocks: 8,
+            per_block_cpu_cy: 100,
+        }
+    }
+
+    fn run_with_cache(
+        f: impl FnOnce(&KEnv, &BufferCache) + Send + 'static,
+    ) -> (Cycles, (u64, u64), (u64, u64, u64)) {
+        let (sim, kernel) = boot(Os::Linux, 0);
+        let disk = Arc::new(Disk::new(DiskParams::hp3725()));
+        let cache = Arc::new(BufferCache::new(disk.clone(), params()));
+        let env = kernel.env().clone();
+        let c2 = cache.clone();
+        kernel.spawn_user("user", move |_| f(&env, &c2));
+        let t = sim.run().unwrap();
+        (t, cache.stats(), disk.stats())
+    }
+
+    #[test]
+    fn read_miss_then_hit() {
+        let (_, (hits, misses), (reads, _, _)) = run_with_cache(|env, c| {
+            assert!(!c.read(env, 0, 0), "cold miss");
+            assert!(c.read(env, 0, 0), "now cached");
+        });
+        assert_eq!((hits, misses), (1, 1));
+        assert_eq!(reads, 1);
+    }
+
+    #[test]
+    fn readahead_fills_following_blocks() {
+        let (_, (hits, misses), (reads, _, _)) = run_with_cache(|env, c| {
+            assert!(!c.read(env, 0, 3)); // brings 0, 8, 16, 24 (KB)
+            assert!(c.read(env, 8, 0));
+            assert!(c.read(env, 16, 0));
+            assert!(c.read(env, 24, 0));
+        });
+        assert_eq!((hits, misses), (3, 1));
+        assert_eq!(reads, 1, "one clustered disk read");
+    }
+
+    #[test]
+    fn delayed_write_touches_no_disk() {
+        let (_, _, (reads, writes, _)) = run_with_cache(|env, c| {
+            c.write(env, 0, false);
+            c.write(env, 8, false);
+            assert_eq!(c.dirty_bytes(), 16 * 1024);
+        });
+        assert_eq!((reads, writes), (0, 0), "delayed writes stay in cache");
+    }
+
+    #[test]
+    fn sync_write_hits_disk_immediately() {
+        let (t, _, (_, writes, _)) = run_with_cache(|env, c| {
+            c.write(env, 700_000 * 8, true);
+        });
+        assert_eq!(writes, 1);
+        assert!(t.as_millis() > 5.0, "a sync metadata write costs a disk op");
+    }
+
+    #[test]
+    fn hiwater_flush_clusters_sequential_runs() {
+        // Cache hiwater = 4 blocks; writing 6 sequential blocks forces a
+        // flush that should need very few disk commands.
+        let (_, _, (_, writes, blocks)) = run_with_cache(|env, c| {
+            for i in 0..6u64 {
+                c.write(env, i * 8, false);
+            }
+        });
+        assert!(writes <= 2, "clustered flush, got {writes} commands");
+        assert!(blocks >= 16, "flushed at least down to half the mark");
+    }
+
+    #[test]
+    fn eviction_never_exceeds_capacity() {
+        let (_, _, _) = run_with_cache(|env, c| {
+            for i in 0..100u64 {
+                c.read(env, i * 8, 0);
+            }
+            // Capacity is 8 blocks of 8 KB.
+            let mut resident = 0;
+            for i in 0..100u64 {
+                if c.contains(i * 8) {
+                    resident += 1;
+                }
+            }
+            assert!(resident <= 8);
+            assert_eq!(resident, 8, "a scan leaves the cache full");
+        });
+    }
+
+    #[test]
+    fn dirty_eviction_writes_back() {
+        let (_, _, (_, writes, _)) = run_with_cache(|env, c| {
+            c.write(env, 0, false); // one dirty block
+            for i in 1..20u64 {
+                c.read(env, i * 8, 0); // push it out
+            }
+            assert!(!c.contains(0));
+        });
+        assert!(writes >= 1, "the dirty victim reached the disk");
+    }
+
+    #[test]
+    fn flush_all_cleans_everything() {
+        let (_, _, _) = run_with_cache(|env, c| {
+            for i in 0..4u64 {
+                c.write(env, i * 8, false);
+            }
+            c.flush_all(env);
+            assert_eq!(c.dirty_bytes(), 0);
+        });
+    }
+
+    #[test]
+    fn invalidate_drops_without_io() {
+        let (_, _, (_, writes, _)) = run_with_cache(|env, c| {
+            c.write(env, 0, false);
+            c.invalidate_all();
+            assert_eq!(c.dirty_bytes(), 0);
+            assert!(!c.contains(0));
+        });
+        assert_eq!(writes, 0);
+    }
+}

@@ -1,0 +1,607 @@
+//! One entry per table and figure of the paper.
+//!
+//! Each experiment runs the corresponding `tnt-core` benchmark over the
+//! configured number of seeded runs and renders the result in the
+//! paper's format (tables with Std Dev and Norm. columns, figures as
+//! ASCII plots plus CSV series).
+
+use crate::plot::{Figure, XScale};
+use crate::scale::Scale;
+use crate::table::{Direction, Row, Table};
+use tnt_core::{
+    bonnie, crtdel_ms, ctx_us, mab_local, mab_over_nfs, mem_bandwidth, packet_sizes,
+    pipe_bandwidth_mbit, syscall_us, tcp_bandwidth_mbit, udp_bandwidth_mbit, CtxPattern,
+    LibcVariant, MemRoutine, Os,
+};
+use tnt_sim::{Series, Summary};
+
+/// The rendered result of one experiment.
+#[derive(Clone, Debug)]
+pub struct ExperimentOutput {
+    /// Short id: "t2", "f1", ...
+    pub id: &'static str,
+    /// Paper title of the table/figure.
+    pub title: &'static str,
+    /// Rendered text (table or ASCII figure).
+    pub text: String,
+    /// CSV files to write: (file name, contents).
+    pub csv: Vec<(String, String)>,
+}
+
+/// Every experiment id, in paper order.
+pub fn all_ids() -> Vec<&'static str> {
+    vec![
+        "t1", "t2", "f1", "f2", "f3", "f4", "f5", "f6", "f7", "f8", "f9", "f10", "f11", "f12",
+        "t3", "t4", "f13", "t5", "t6", "t7",
+    ]
+}
+
+/// Runs one experiment by id. Some ids share computation (f9-f11 all run
+/// bonnie), so prefer [`run_many`] for several ids.
+pub fn run_one(id: &str, scale: &Scale) -> Vec<ExperimentOutput> {
+    match id {
+        "t1" => vec![t1_config()],
+        "t2" => vec![t2_syscall(scale)],
+        "f1" => vec![f1_ctx(scale)],
+        "f2" => vec![mem_figure(
+            "f2",
+            "FIGURE 2. Custom Read",
+            vec![("custom read", MemRoutine::CustomRead)],
+            scale,
+        )],
+        "f3" => vec![mem_figure(
+            "f3",
+            "FIGURE 3. Memset",
+            libc_curves(MemRoutine::LibcMemset),
+            scale,
+        )],
+        "f4" => vec![mem_figure(
+            "f4",
+            "FIGURE 4. Naive Custom Write",
+            vec![("naive write", MemRoutine::CustomWriteNaive)],
+            scale,
+        )],
+        "f5" => vec![mem_figure(
+            "f5",
+            "FIGURE 5. Prefetching Custom Write",
+            vec![("prefetch write", MemRoutine::CustomWritePrefetch)],
+            scale,
+        )],
+        "f6" => vec![mem_figure(
+            "f6",
+            "FIGURE 6. Memcpy",
+            libc_curves(MemRoutine::LibcMemcpy),
+            scale,
+        )],
+        "f7" => vec![mem_figure(
+            "f7",
+            "FIGURE 7. Naive Custom Copy",
+            vec![("naive copy", MemRoutine::CustomCopyNaive)],
+            scale,
+        )],
+        "f8" => vec![mem_figure(
+            "f8",
+            "FIGURE 8. Prefetching Custom Copy",
+            vec![("prefetch copy", MemRoutine::CustomCopyPrefetch)],
+            scale,
+        )],
+        "f9" | "f10" | "f11" => bonnie_figures(scale)
+            .into_iter()
+            .filter(|o| o.id == id)
+            .collect(),
+        "f12" => vec![f12_crtdel(scale)],
+        "t3" => vec![t3_mab(scale)],
+        "t4" => vec![t4_pipe(scale)],
+        "f13" => vec![f13_udp(scale)],
+        "t5" => vec![t5_tcp(scale)],
+        "t6" => vec![nfs_table("t6", Os::Linux, scale)],
+        "t7" => vec![nfs_table("t7", Os::SunOs, scale)],
+        "x1" | "x2" | "x3" | "x4" | "x5" | "x6" | "x7" => {
+            vec![crate::ablations::run_extra(id, scale)]
+        }
+        other => panic!("unknown experiment id {other:?}"),
+    }
+}
+
+/// Runs a set of experiments, sharing work where possible.
+pub fn run_many(ids: &[&str], scale: &Scale) -> Vec<ExperimentOutput> {
+    let mut out = Vec::new();
+    let mut bonnie_done = false;
+    for id in ids {
+        match *id {
+            "f9" | "f10" | "f11" => {
+                if !bonnie_done {
+                    out.extend(bonnie_figures(scale));
+                    bonnie_done = true;
+                }
+            }
+            other => out.extend(run_one(other, scale)),
+        }
+    }
+    out
+}
+
+fn os_label(os: Os) -> String {
+    os.label().to_string()
+}
+
+fn summarize(scale: &Scale, f: impl Fn(u64) -> f64) -> Summary {
+    let samples: Vec<f64> = scale.seeds().into_iter().map(f).collect();
+    Summary::of(&samples)
+}
+
+// ---------------------------------------------------------------------
+// Table 1: static configuration.
+// ---------------------------------------------------------------------
+
+fn t1_config() -> ExperimentOutput {
+    let text = "\
+TABLE 1. Disk Partitioning (configuration, reproduced verbatim)
+  OS            Version   Size (MB)
+  ---------------------------------
+  DOS/Windows   6.2/3.1   250
+  Solaris       2.4       700
+  FreeBSD       2.0.5R    400
+  Linux         1.2.8     600
+  Benchmark disk: HP 3725 (fresh 200 MB filesystem per experiment)
+  System disk:    Quantum Empire 2100S
+"
+    .to_string();
+    ExperimentOutput {
+        id: "t1",
+        title: "TABLE 1. Disk Partitioning",
+        text,
+        csv: vec![],
+    }
+}
+
+// ---------------------------------------------------------------------
+// Table 2: system call.
+// ---------------------------------------------------------------------
+
+fn t2_syscall(scale: &Scale) -> ExperimentOutput {
+    let paper = [(Os::Linux, 2.31), (Os::FreeBsd, 2.62), (Os::Solaris, 3.52)];
+    let rows = paper
+        .iter()
+        .map(|&(os, paper_us)| Row {
+            label: os_label(os),
+            summary: summarize(scale, |seed| syscall_us(os, scale.syscall_iters, seed)),
+            paper: paper_us,
+        })
+        .collect();
+    let table = Table {
+        title: "TABLE 2. System Call (getpid)".into(),
+        unit: "µs",
+        direction: Direction::LowerBetter,
+        rows,
+    };
+    ExperimentOutput {
+        id: "t2",
+        title: "TABLE 2. System Call",
+        text: table.render(),
+        csv: vec![],
+    }
+}
+
+// ---------------------------------------------------------------------
+// Figure 1: context switching.
+// ---------------------------------------------------------------------
+
+fn f1_ctx(scale: &Scale) -> ExperimentOutput {
+    let curves: Vec<(String, Os, CtxPattern)> = vec![
+        ("Linux".into(), Os::Linux, CtxPattern::Ring),
+        ("FreeBSD".into(), Os::FreeBsd, CtxPattern::Ring),
+        ("Solaris".into(), Os::Solaris, CtxPattern::Ring),
+        ("Solaris-LIFO".into(), Os::Solaris, CtxPattern::LifoChain),
+    ];
+    let mut series = Vec::new();
+    for (label, os, pattern) in curves {
+        let mut s = Series::new(label);
+        for &n in &scale.ctx_procs {
+            let mean = summarize(scale, |seed| {
+                ctx_us(os, n, scale.ctx_switches, pattern, seed)
+            });
+            s.push(n as f64, mean.mean);
+        }
+        series.push(s);
+    }
+    let fig = Figure {
+        title: "FIGURE 1. Context Switch (µs per switch incl. pipe overhead)".into(),
+        x_label: "active processes".into(),
+        y_label: "µs/switch".into(),
+        x_scale: XScale::Linear,
+        series,
+    };
+    ExperimentOutput {
+        id: "f1",
+        title: "FIGURE 1. Context Switch",
+        text: fig.render(),
+        csv: vec![("f1_ctx.csv".into(), fig.to_csv())],
+    }
+}
+
+// ---------------------------------------------------------------------
+// Figures 2-8: memory bandwidth.
+// ---------------------------------------------------------------------
+
+fn libc_curves(make: fn(LibcVariant) -> MemRoutine) -> Vec<(&'static str, MemRoutine)> {
+    vec![
+        ("Linux libc", make(LibcVariant::Linux)),
+        ("FreeBSD libc", make(LibcVariant::FreeBsd)),
+        ("Solaris libc", make(LibcVariant::Solaris)),
+    ]
+}
+
+fn mem_figure(
+    id: &'static str,
+    title: &'static str,
+    curves: Vec<(&'static str, MemRoutine)>,
+    scale: &Scale,
+) -> ExperimentOutput {
+    let mut series = Vec::new();
+    for (label, routine) in curves {
+        let mut s = Series::new(label);
+        for &buf in &scale.mem_sizes {
+            let mean = summarize(scale, |seed| {
+                mem_bandwidth(routine, buf, scale.mem_total, seed)
+            });
+            s.push(buf as f64, mean.mean);
+        }
+        series.push(s);
+    }
+    let fig = Figure {
+        title: format!("{title} (MB/s vs buffer size)"),
+        x_label: "buffer size (bytes, log2)".into(),
+        y_label: "MB/s".into(),
+        x_scale: XScale::Log2,
+        series,
+    };
+    ExperimentOutput {
+        id,
+        title,
+        text: fig.render(),
+        csv: vec![(format!("{id}_mem.csv"), fig.to_csv())],
+    }
+}
+
+// ---------------------------------------------------------------------
+// Figures 9-11: bonnie (one computation, three figures).
+// ---------------------------------------------------------------------
+
+/// Runs the bonnie sweep once and renders Figures 9, 10 and 11.
+pub fn bonnie_figures(scale: &Scale) -> Vec<ExperimentOutput> {
+    let oses = Os::benchmarked();
+    // results[os][size] -> mean BonnieResult over seeds.
+    let mut write: Vec<Series> = Vec::new();
+    let mut read: Vec<Series> = Vec::new();
+    let mut seeks: Vec<Series> = Vec::new();
+    for os in oses {
+        let mut ws = Series::new(os.label());
+        let mut rs = Series::new(os.label());
+        let mut ss = Series::new(os.label());
+        for &mb in &scale.bonnie_sizes_mb {
+            let mut w = Vec::new();
+            let mut r = Vec::new();
+            let mut s = Vec::new();
+            for seed in scale.mab_seeds() {
+                let b = bonnie(os, mb, scale.bonnie_seeks, seed);
+                w.push(b.write_mb_s);
+                r.push(b.read_mb_s);
+                s.push(b.seeks_per_s);
+            }
+            ws.push(mb as f64, Summary::of(&w).mean);
+            rs.push(mb as f64, Summary::of(&r).mean);
+            ss.push(mb as f64, Summary::of(&s).mean);
+        }
+        write.push(ws);
+        read.push(rs);
+        seeks.push(ss);
+    }
+    let make = |id: &'static str, title: &'static str, y: &str, series: Vec<Series>| {
+        let fig = Figure {
+            title: format!("{title} vs file size (MB, log2)"),
+            x_label: "file size (MB, log2)".into(),
+            y_label: y.into(),
+            x_scale: XScale::Log2,
+            series,
+        };
+        ExperimentOutput {
+            id,
+            title,
+            text: fig.render(),
+            csv: vec![(format!("{id}_bonnie.csv"), fig.to_csv())],
+        }
+    };
+    vec![
+        make("f9", "FIGURE 9. Bonnie Read", "MB/s", read),
+        make("f10", "FIGURE 10. Bonnie Write", "MB/s", write),
+        make("f11", "FIGURE 11. Bonnie Seek", "seeks/s", seeks),
+    ]
+}
+
+// ---------------------------------------------------------------------
+// Figure 12: crtdel.
+// ---------------------------------------------------------------------
+
+fn f12_crtdel(scale: &Scale) -> ExperimentOutput {
+    let mut series = Vec::new();
+    for os in Os::benchmarked() {
+        let mut s = Series::new(os.label());
+        for &size in &scale.crtdel_sizes {
+            let mean = summarize(scale, |seed| crtdel_ms(os, size, scale.crtdel_iters, seed));
+            s.push(size as f64, mean.mean);
+        }
+        series.push(s);
+    }
+    let fig = Figure {
+        title: "FIGURE 12. File Create/Delete (ms per iteration)".into(),
+        x_label: "file size (bytes, log2)".into(),
+        y_label: "ms".into(),
+        x_scale: XScale::Log2,
+        series,
+    };
+    ExperimentOutput {
+        id: "f12",
+        title: "FIGURE 12. File Create/Delete",
+        text: fig.render(),
+        csv: vec![("f12_crtdel.csv".into(), fig.to_csv())],
+    }
+}
+
+// ---------------------------------------------------------------------
+// Table 3: MAB local.
+// ---------------------------------------------------------------------
+
+fn t3_mab(scale: &Scale) -> ExperimentOutput {
+    let paper = [
+        (Os::Linux, 43.12),
+        (Os::FreeBsd, 47.45),
+        (Os::Solaris, 54.31),
+    ];
+    let mut rows = Vec::new();
+    let mut phases_text = String::new();
+    for &(os, paper_s) in &paper {
+        let samples: Vec<f64> = scale
+            .mab_seeds()
+            .into_iter()
+            .map(|seed| mab_local(os, seed).total_s)
+            .collect();
+        let phases = mab_local(os, 1).phase_s;
+        phases_text.push_str(&format!(
+            "  {:<12} phases (s): mkdir {:.2}  copy {:.2}  stat {:.2}  read {:.2}  compile {:.2}\n",
+            os.label(),
+            phases[0],
+            phases[1],
+            phases[2],
+            phases[3],
+            phases[4]
+        ));
+        rows.push(Row {
+            label: os_label(os),
+            summary: Summary::of(&samples),
+            paper: paper_s,
+        });
+    }
+    let table = Table {
+        title: "TABLE 3. MAB Local (seconds)".into(),
+        unit: "s",
+        direction: Direction::LowerBetter,
+        rows,
+    };
+    ExperimentOutput {
+        id: "t3",
+        title: "TABLE 3. MAB Local",
+        text: format!("{}{}", table.render(), phases_text),
+        csv: vec![],
+    }
+}
+
+// ---------------------------------------------------------------------
+// Table 4: pipe bandwidth.
+// ---------------------------------------------------------------------
+
+fn t4_pipe(scale: &Scale) -> ExperimentOutput {
+    let paper = [
+        (Os::Linux, 119.36),
+        (Os::FreeBsd, 98.03),
+        (Os::Solaris, 65.38),
+    ];
+    let rows = paper
+        .iter()
+        .map(|&(os, p)| Row {
+            label: os_label(os),
+            summary: summarize(scale, |seed| {
+                pipe_bandwidth_mbit(os, scale.pipe_total, tnt_core::BW_PIPE_CHUNK, seed)
+            }),
+            paper: p,
+        })
+        .collect();
+    let table = Table {
+        title: "TABLE 4. Pipe Bandwidth (bw_pipe, 64 KB chunks)".into(),
+        unit: "Mb/s",
+        direction: Direction::HigherBetter,
+        rows,
+    };
+    ExperimentOutput {
+        id: "t4",
+        title: "TABLE 4. Pipe Bandwidth",
+        text: table.render(),
+        csv: vec![],
+    }
+}
+
+// ---------------------------------------------------------------------
+// Figure 13: UDP bandwidth vs packet size.
+// ---------------------------------------------------------------------
+
+fn f13_udp(scale: &Scale) -> ExperimentOutput {
+    let mut series = Vec::new();
+    for os in Os::benchmarked() {
+        let mut s = Series::new(os.label());
+        for packet in packet_sizes() {
+            let mean = summarize(scale, |seed| {
+                udp_bandwidth_mbit(os, packet, scale.udp_total, seed)
+            });
+            s.push(packet as f64, mean.mean);
+        }
+        series.push(s);
+    }
+    let fig = Figure {
+        title: "FIGURE 13. UDP Bandwidth (ttcp, loopback)".into(),
+        x_label: "packet size (bytes, log2)".into(),
+        y_label: "Mb/s".into(),
+        x_scale: XScale::Log2,
+        series,
+    };
+    ExperimentOutput {
+        id: "f13",
+        title: "FIGURE 13. UDP",
+        text: fig.render(),
+        csv: vec![("f13_udp.csv".into(), fig.to_csv())],
+    }
+}
+
+// ---------------------------------------------------------------------
+// Table 5: TCP bandwidth.
+// ---------------------------------------------------------------------
+
+fn t5_tcp(scale: &Scale) -> ExperimentOutput {
+    let paper = [
+        (Os::FreeBsd, 65.95),
+        (Os::Solaris, 60.11),
+        (Os::Linux, 25.03),
+    ];
+    let rows = paper
+        .iter()
+        .map(|&(os, p)| Row {
+            label: os_label(os),
+            summary: summarize(scale, |seed| {
+                tcp_bandwidth_mbit(os, scale.tcp_total, tnt_core::BW_TCP_CHUNK, seed)
+            }),
+            paper: p,
+        })
+        .collect();
+    let table = Table {
+        title: "TABLE 5. TCP Bandwidth (bw_tcp, 48 KB buffer, loopback)".into(),
+        unit: "Mb/s",
+        direction: Direction::HigherBetter,
+        rows,
+    };
+    ExperimentOutput {
+        id: "t5",
+        title: "TABLE 5. TCP Bandwidth",
+        text: table.render(),
+        csv: vec![],
+    }
+}
+
+// ---------------------------------------------------------------------
+// Tables 6-7: MAB over NFS.
+// ---------------------------------------------------------------------
+
+fn nfs_table(id: &'static str, server: Os, scale: &Scale) -> ExperimentOutput {
+    let (title, paper): (&'static str, [(Os, f64); 3]) = match server {
+        Os::Linux => (
+            "TABLE 6. MAB NFS with Linux Server",
+            [
+                (Os::FreeBsd, 53.24),
+                (Os::Linux, 57.73),
+                (Os::Solaris, 58.38),
+            ],
+        ),
+        Os::SunOs => (
+            "TABLE 7. MAB NFS with SunOS Server",
+            [
+                (Os::FreeBsd, 67.60),
+                (Os::Solaris, 87.94),
+                (Os::Linux, 115.06),
+            ],
+        ),
+        other => panic!("no NFS table for server {other:?}"),
+    };
+    let rows = paper
+        .iter()
+        .map(|&(client, p)| {
+            let samples: Vec<f64> = scale
+                .mab_seeds()
+                .into_iter()
+                .map(|seed| mab_over_nfs(client, server, seed).total_s)
+                .collect();
+            Row {
+                label: os_label(client),
+                summary: Summary::of(&samples),
+                paper: p,
+            }
+        })
+        .collect();
+    let table = Table {
+        title: format!("{title} (seconds)"),
+        unit: "s",
+        direction: Direction::LowerBetter,
+        rows,
+    };
+    ExperimentOutput {
+        id,
+        title,
+        text: table.render(),
+        csv: vec![],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_ids_covered_by_run_one() {
+        // Every id must dispatch without panicking (smoke scale, cheap
+        // ids only; the heavyweight ones are covered by integration
+        // tests and the reproduce binary).
+        let scale = Scale::smoke();
+        for id in ["t1", "t2", "f12", "t4"] {
+            let outs = run_one(id, &scale);
+            assert!(!outs.is_empty());
+            assert!(outs.iter().all(|o| !o.text.is_empty()));
+        }
+    }
+
+    #[test]
+    fn t2_table_contains_all_systems_and_paper_values() {
+        let out = t2_syscall(&Scale::smoke());
+        assert!(out.text.contains("Linux"));
+        assert!(out.text.contains("FreeBSD"));
+        assert!(out.text.contains("Solaris 2.4"));
+        assert!(
+            out.text.contains("2.31"),
+            "paper column present:\n{}",
+            out.text
+        );
+    }
+
+    #[test]
+    fn mem_figure_produces_csv() {
+        let out = run_one("f2", &Scale::smoke());
+        assert_eq!(out[0].csv.len(), 1);
+        assert!(out[0].csv[0].1.lines().count() > 3);
+    }
+
+    #[test]
+    fn bonnie_figures_share_one_sweep() {
+        let outs = bonnie_figures(&Scale::smoke());
+        assert_eq!(outs.len(), 3);
+        let ids: Vec<_> = outs.iter().map(|o| o.id).collect();
+        assert_eq!(ids, vec!["f9", "f10", "f11"]);
+    }
+
+    #[test]
+    fn run_many_deduplicates_bonnie() {
+        let outs = run_many(&["f9", "f10", "f11"], &Scale::smoke());
+        assert_eq!(outs.len(), 3, "one sweep, three figures");
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown experiment id")]
+    fn unknown_id_panics() {
+        run_one("f99", &Scale::smoke());
+    }
+}

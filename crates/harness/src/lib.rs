@@ -1,0 +1,28 @@
+#![warn(missing_docs)]
+
+//! The experiment harness: regenerates every table and figure of the
+//! paper from the simulation models.
+//!
+//! Each experiment is identified by its paper label (`"t2"` for Table 2,
+//! `"f9"` for Figure 9, ...). [`run_many`] executes a set of them at a
+//! chosen [`Scale`] — `Scale::full()` is the paper's methodology (twenty
+//! runs of everything), `Scale::quick()` a fast variant with the same
+//! shapes — and returns rendered tables/ASCII figures plus CSV series.
+//!
+//! The `reproduce` binary drives this end to end:
+//!
+//! ```text
+//! cargo run --release -p tnt-harness --bin reproduce -- --quick all
+//! ```
+
+mod ablations;
+mod experiments;
+mod plot;
+mod scale;
+mod table;
+
+pub use ablations::{extra_ids, run_extra};
+pub use experiments::{all_ids, bonnie_figures, run_many, run_one, ExperimentOutput};
+pub use plot::{Figure, XScale};
+pub use scale::Scale;
+pub use table::{Direction, Row, Table};

@@ -1,0 +1,135 @@
+//! Experiment scale: the paper's full methodology, or a quick variant
+//! for CI and iteration.
+
+/// How big to run each experiment.
+#[derive(Clone, Debug)]
+pub struct Scale {
+    /// Repetitions per measurement (the paper uses twenty).
+    pub runs: u64,
+    /// `getpid` iterations per run (paper: 100 000).
+    pub syscall_iters: u32,
+    /// Context switches per `ctx` run (paper: 50 000).
+    pub ctx_switches: u64,
+    /// Process counts for Figure 1.
+    pub ctx_procs: Vec<usize>,
+    /// Bytes of traffic per memory measurement (paper: 8 MB).
+    pub mem_total: u64,
+    /// Buffer sizes for Figures 2-8.
+    pub mem_sizes: Vec<u64>,
+    /// Bonnie file sizes in MB (paper: 2-100 MB).
+    pub bonnie_sizes_mb: Vec<u64>,
+    /// Random operations in bonnie's seek phase.
+    pub bonnie_seeks: u32,
+    /// crtdel file sizes (paper: 1 KB - 1 MB).
+    pub crtdel_sizes: Vec<u64>,
+    /// crtdel iterations per run.
+    pub crtdel_iters: u32,
+    /// bw_pipe bytes (paper: 50 MB).
+    pub pipe_total: u64,
+    /// ttcp bytes per run (paper: 4 MB).
+    pub udp_total: u64,
+    /// bw_tcp bytes (paper: 3 MB).
+    pub tcp_total: u64,
+    /// MAB repetitions (each is a whole benchmark run).
+    pub mab_runs: u64,
+}
+
+impl Scale {
+    /// The paper's methodology (twenty runs of everything). Slow.
+    ///
+    /// One concession: `ctx` uses 20 000 switches per run instead of the
+    /// paper's 50 000 — the per-switch mean is identical (the simulation
+    /// is deterministic) and it keeps the full sweep under five minutes.
+    pub fn full() -> Scale {
+        Scale {
+            runs: 20,
+            syscall_iters: 100_000,
+            ctx_switches: 20_000,
+            ctx_procs: vec![2, 4, 8, 12, 16, 20, 24, 28, 32, 36, 40, 48, 64, 80, 96],
+            mem_total: 8 * 1024 * 1024,
+            mem_sizes: tnt_core::standard_buffer_sizes(),
+            bonnie_sizes_mb: vec![2, 4, 8, 12, 16, 20, 24, 32, 48, 64, 100],
+            bonnie_seeks: 200,
+            crtdel_sizes: vec![1 << 10, 4 << 10, 16 << 10, 64 << 10, 256 << 10, 1 << 20],
+            crtdel_iters: 20,
+            pipe_total: 50 * 1024 * 1024,
+            udp_total: 4 * 1024 * 1024,
+            tcp_total: 3 * 1024 * 1024,
+            mab_runs: 5,
+        }
+    }
+
+    /// A fast variant with the same shapes (fewer runs, less traffic).
+    pub fn quick() -> Scale {
+        Scale {
+            runs: 5,
+            syscall_iters: 10_000,
+            ctx_switches: 2_500,
+            ctx_procs: vec![2, 4, 8, 16, 24, 32, 40, 48, 64, 96],
+            mem_total: 2 * 1024 * 1024,
+            mem_sizes: tnt_core::standard_buffer_sizes(),
+            bonnie_sizes_mb: vec![2, 4, 8, 16, 20, 32, 64, 100],
+            bonnie_seeks: 60,
+            crtdel_sizes: vec![1 << 10, 16 << 10, 256 << 10, 1 << 20],
+            crtdel_iters: 8,
+            pipe_total: 8 * 1024 * 1024,
+            udp_total: 1 << 20,
+            tcp_total: 1 << 20,
+            mab_runs: 2,
+        }
+    }
+
+    /// A tiny smoke-test variant for unit tests.
+    pub fn smoke() -> Scale {
+        Scale {
+            runs: 2,
+            syscall_iters: 1_000,
+            ctx_switches: 400,
+            ctx_procs: vec![2, 8, 40],
+            mem_total: 256 * 1024,
+            mem_sizes: vec![1024, 4096, 65536, 1 << 20],
+            bonnie_sizes_mb: vec![2, 32],
+            bonnie_seeks: 20,
+            crtdel_sizes: vec![1 << 10],
+            crtdel_iters: 3,
+            pipe_total: 1 << 20,
+            udp_total: 256 * 1024,
+            tcp_total: 256 * 1024,
+            mab_runs: 1,
+        }
+    }
+
+    /// Seeds used for the runs (1-based so seed 0 stays for debugging).
+    pub fn seeds(&self) -> Vec<u64> {
+        (1..=self.runs).collect()
+    }
+
+    /// Seeds for MAB-sized experiments.
+    pub fn mab_seeds(&self) -> Vec<u64> {
+        (1..=self.mab_runs).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_matches_paper_methodology() {
+        let s = Scale::full();
+        assert_eq!(s.runs, 20);
+        assert_eq!(s.syscall_iters, 100_000);
+        assert_eq!(s.pipe_total, 50 * 1024 * 1024);
+        assert_eq!(s.tcp_total, 3 * 1024 * 1024);
+        assert_eq!(s.udp_total, 4 * 1024 * 1024);
+        assert!(s.bonnie_sizes_mb.contains(&2) && s.bonnie_sizes_mb.contains(&100));
+    }
+
+    #[test]
+    fn seeds_are_distinct_and_nonzero() {
+        let s = Scale::quick();
+        let seeds = s.seeds();
+        assert_eq!(seeds.len(), 5);
+        assert!(seeds.iter().all(|&x| x > 0));
+    }
+}

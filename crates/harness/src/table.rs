@@ -1,0 +1,184 @@
+//! Paper-style table rendering: Time / Std Dev / Norm. columns, with the
+//! paper's own values alongside for comparison.
+
+use tnt_sim::{normalize_higher_better, normalize_lower_better, Summary};
+
+/// Whether smaller or larger measured values are better (controls the
+/// "Norm." column, as in the paper).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Direction {
+    /// Times: smaller is better; Norm. = best/value.
+    LowerBetter,
+    /// Bandwidths: larger is better; Norm. = value/best.
+    HigherBetter,
+}
+
+/// One system's row of a table.
+#[derive(Clone, Debug)]
+pub struct Row {
+    /// System label as the paper prints it.
+    pub label: String,
+    /// Mean and standard deviation over the runs.
+    pub summary: Summary,
+    /// The paper's reported value, for side-by-side comparison.
+    pub paper: f64,
+}
+
+/// A rendered table of the paper.
+#[derive(Clone, Debug)]
+pub struct Table {
+    /// e.g. "TABLE 2. System Call".
+    pub title: String,
+    /// Unit of the value column, e.g. "µs" or "Mb/s".
+    pub unit: &'static str,
+    /// Normalisation direction.
+    pub direction: Direction,
+    /// One row per system, in the order measured.
+    pub rows: Vec<Row>,
+}
+
+impl Table {
+    /// Renders the table as aligned ASCII, rows sorted best-first like
+    /// the paper's tables.
+    pub fn render(&self) -> String {
+        let mut rows = self.rows.clone();
+        match self.direction {
+            Direction::LowerBetter => {
+                rows.sort_by(|a, b| a.summary.mean.total_cmp(&b.summary.mean))
+            }
+            Direction::HigherBetter => {
+                rows.sort_by(|a, b| b.summary.mean.total_cmp(&a.summary.mean))
+            }
+        }
+        let means: Vec<f64> = rows.iter().map(|r| r.summary.mean).collect();
+        let norms = match self.direction {
+            Direction::LowerBetter => normalize_lower_better(&means),
+            Direction::HigherBetter => normalize_higher_better(&means),
+        };
+        let paper: Vec<f64> = rows.iter().map(|r| r.paper).collect();
+        let paper_norms = match self.direction {
+            Direction::LowerBetter => normalize_lower_better(&paper),
+            Direction::HigherBetter => normalize_higher_better(&paper),
+        };
+        let mut out = String::new();
+        out.push_str(&format!("{}\n", self.title));
+        out.push_str(&format!(
+            "  {:<12} {:>12} {:>8} {:>6} | {:>12} {:>6}\n",
+            "OS",
+            format!("Meas. ({})", self.unit),
+            "Std Dev",
+            "Norm.",
+            format!("Paper ({})", self.unit),
+            "Norm."
+        ));
+        out.push_str(&format!("  {}\n", "-".repeat(66)));
+        for (i, row) in rows.iter().enumerate() {
+            out.push_str(&format!(
+                "  {:<12} {:>12.2} {:>7.2}% {:>6.2} | {:>12.2} {:>6.2}\n",
+                row.label,
+                row.summary.mean,
+                row.summary.sd_pct(),
+                norms[i],
+                row.paper,
+                paper_norms[i],
+            ));
+        }
+        out
+    }
+
+    /// The measured mean for a given label, if present.
+    pub fn mean_of(&self, label: &str) -> Option<f64> {
+        self.rows
+            .iter()
+            .find(|r| r.label == label)
+            .map(|r| r.summary.mean)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn summary(mean: f64) -> Summary {
+        Summary::of(&[mean * 0.99, mean, mean * 1.01])
+    }
+
+    #[test]
+    fn renders_sorted_with_norms() {
+        let t = Table {
+            title: "TABLE 2. System Call".into(),
+            unit: "µs",
+            direction: Direction::LowerBetter,
+            rows: vec![
+                Row {
+                    label: "Solaris 2.4".into(),
+                    summary: summary(3.52),
+                    paper: 3.52,
+                },
+                Row {
+                    label: "Linux".into(),
+                    summary: summary(2.31),
+                    paper: 2.31,
+                },
+                Row {
+                    label: "FreeBSD".into(),
+                    summary: summary(2.62),
+                    paper: 2.62,
+                },
+            ],
+        };
+        let s = t.render();
+        let linux_pos = s.find("Linux").unwrap();
+        let freebsd_pos = s.find("FreeBSD").unwrap();
+        let solaris_pos = s.find("Solaris").unwrap();
+        assert!(
+            linux_pos < freebsd_pos && freebsd_pos < solaris_pos,
+            "best first:\n{s}"
+        );
+        assert!(s.contains("1.00"), "best row normalises to 1.00:\n{s}");
+        assert!(
+            s.contains("0.66"),
+            "Solaris norm 0.66 as in the paper:\n{s}"
+        );
+    }
+
+    #[test]
+    fn higher_better_sorts_descending() {
+        let t = Table {
+            title: "TABLE 4. Pipe Bandwidth".into(),
+            unit: "Mb/s",
+            direction: Direction::HigherBetter,
+            rows: vec![
+                Row {
+                    label: "Solaris 2.4".into(),
+                    summary: summary(65.38),
+                    paper: 65.38,
+                },
+                Row {
+                    label: "Linux".into(),
+                    summary: summary(119.36),
+                    paper: 119.36,
+                },
+            ],
+        };
+        let s = t.render();
+        assert!(s.find("Linux").unwrap() < s.find("Solaris").unwrap());
+        assert!(s.contains("0.55"), "Solaris norm per Table 4:\n{s}");
+    }
+
+    #[test]
+    fn mean_lookup() {
+        let t = Table {
+            title: "t".into(),
+            unit: "µs",
+            direction: Direction::LowerBetter,
+            rows: vec![Row {
+                label: "Linux".into(),
+                summary: summary(2.0),
+                paper: 2.0,
+            }],
+        };
+        assert!((t.mean_of("Linux").unwrap() - 2.0).abs() < 0.01);
+        assert!(t.mean_of("Plan9").is_none());
+    }
+}

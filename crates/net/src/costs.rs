@@ -1,0 +1,201 @@
+//! Per-OS network protocol cost tables.
+//!
+//! Calibrated against the paper's own measurements:
+//!
+//! - **UDP (Figure 13)**: peak bandwidths of ~16 (Linux), ~48 (FreeBSD)
+//!   and ~32 Mb/s (Solaris). The Linux per-byte constant aggregates the
+//!   "unnecessary copies and inefficient buffer allocation" of Section
+//!   9.2, plus its 2000-byte loopback MTU forcing fragmentation of large
+//!   datagrams.
+//! - **TCP (Table 5)**: 65.95 / 60.11 / 25.03 Mb/s. Linux 1.2.8's TCP
+//!   window is a *single packet* (Section 9.3), so every segment stalls
+//!   for an acknowledgment round trip; FreeBSD and Solaris stream against
+//!   a multi-segment window and are limited by per-byte protocol cost.
+//!
+//! All constants are CPU cycles at 100 MHz, all-inclusive (they cover the
+//! data copies and checksums of their path).
+
+use tnt_os::Os;
+
+/// UDP path costs.
+#[derive(Clone, Copy, Debug)]
+pub struct UdpCosts {
+    /// Loopback/driver MTU: datagrams larger than this fragment.
+    pub mtu: u64,
+    /// Fixed send-path cost per datagram (socket + protocol entry).
+    pub send_fixed_cy: u64,
+    /// Cost per fragment produced (buffer allocation, header build).
+    pub per_frag_cy: u64,
+    /// Fixed receive-path cost per datagram (reassembly, socket wakeup).
+    pub recv_fixed_cy: u64,
+    /// Per-byte send cost (copies, checksum, buffer chains).
+    pub send_per_byte_cy: f64,
+    /// Per-byte receive cost.
+    pub recv_per_byte_cy: f64,
+    /// Default socket receive buffer in bytes.
+    pub rcvbuf: u64,
+}
+
+/// TCP path costs.
+#[derive(Clone, Copy, Debug)]
+pub struct TcpCosts {
+    /// Maximum segment size on the loopback path.
+    pub mss: u64,
+    /// Send window in bytes. Linux 1.2.8: one packet.
+    pub window: u64,
+    /// Fixed cost per segment sent.
+    pub send_seg_cy: u64,
+    /// Fixed cost per segment received.
+    pub recv_seg_cy: u64,
+    /// Cost of generating + processing an acknowledgment.
+    pub ack_cy: u64,
+    /// Idle delay before the acknowledgment is sent (delayed-ack
+    /// behaviour). A window-limited sender stalls for this on every
+    /// window; a streaming sender never notices it.
+    pub ack_delay_cy: u64,
+    /// Per-byte send cost.
+    pub send_per_byte_cy: f64,
+    /// Per-byte receive cost.
+    pub recv_per_byte_cy: f64,
+    /// Connection establishment cost (three-way handshake, both ends).
+    pub connect_cy: u64,
+}
+
+/// The complete network personality of one OS.
+#[derive(Clone, Copy, Debug)]
+pub struct NetCosts {
+    /// UDP parameters.
+    pub udp: UdpCosts,
+    /// TCP parameters.
+    pub tcp: TcpCosts,
+}
+
+impl NetCosts {
+    /// Calibrated table for `os`.
+    pub fn for_os(os: Os) -> NetCosts {
+        match os {
+            Os::Linux => NetCosts {
+                udp: UdpCosts {
+                    mtu: 2000,
+                    send_fixed_cy: 18_000,
+                    per_frag_cy: 12_000,
+                    recv_fixed_cy: 8_000,
+                    send_per_byte_cy: 25.0,
+                    recv_per_byte_cy: 18.0,
+                    rcvbuf: 64 * 1024,
+                },
+                tcp: TcpCosts {
+                    mss: 1988,
+                    window: 1988, // The one-packet window of Section 9.3.
+                    send_seg_cy: 6_000,
+                    recv_seg_cy: 6_000,
+                    ack_cy: 4_000,
+                    // Coarse ack generation: the stall that, combined
+                    // with the one-packet window, caps Table 5 at 25 Mb/s.
+                    ack_delay_cy: 21_000,
+                    send_per_byte_cy: 4.2,
+                    recv_per_byte_cy: 4.2,
+                    connect_cy: 30_000,
+                },
+            },
+            Os::FreeBsd => NetCosts {
+                udp: UdpCosts {
+                    mtu: 16_384,
+                    send_fixed_cy: 6_000,
+                    per_frag_cy: 4_000,
+                    recv_fixed_cy: 5_000,
+                    send_per_byte_cy: 8.2,
+                    recv_per_byte_cy: 7.0,
+                    rcvbuf: 64 * 1024,
+                },
+                tcp: TcpCosts {
+                    mss: 1460,
+                    window: 17_520,
+                    send_seg_cy: 5_000,
+                    recv_seg_cy: 5_000,
+                    ack_cy: 1_200,
+                    ack_delay_cy: 0,
+                    send_per_byte_cy: 2.3,
+                    recv_per_byte_cy: 2.3,
+                    connect_cy: 25_000,
+                },
+            },
+            Os::Solaris => NetCosts {
+                udp: UdpCosts {
+                    mtu: 8232,
+                    send_fixed_cy: 12_000,
+                    per_frag_cy: 6_000,
+                    recv_fixed_cy: 12_000,
+                    send_per_byte_cy: 12.0,
+                    recv_per_byte_cy: 9.9,
+                    rcvbuf: 64 * 1024,
+                },
+                tcp: TcpCosts {
+                    mss: 1460,
+                    window: 17_520,
+                    send_seg_cy: 4_500,
+                    recv_seg_cy: 4_500,
+                    ack_cy: 1_500,
+                    ack_delay_cy: 0,
+                    send_per_byte_cy: 2.6,
+                    recv_per_byte_cy: 2.6,
+                    connect_cy: 45_000,
+                },
+            },
+            Os::SunOs => NetCosts {
+                udp: UdpCosts {
+                    mtu: 8232,
+                    send_fixed_cy: 7_000,
+                    per_frag_cy: 4_000,
+                    recv_fixed_cy: 6_000,
+                    send_per_byte_cy: 8.5,
+                    recv_per_byte_cy: 7.5,
+                    rcvbuf: 64 * 1024,
+                },
+                tcp: TcpCosts {
+                    mss: 1460,
+                    window: 8_760,
+                    send_seg_cy: 5_500,
+                    recv_seg_cy: 5_500,
+                    ack_cy: 1_400,
+                    ack_delay_cy: 0,
+                    send_per_byte_cy: 2.5,
+                    recv_per_byte_cy: 2.5,
+                    connect_cy: 30_000,
+                },
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linux_tcp_window_is_one_packet() {
+        let c = NetCosts::for_os(Os::Linux).tcp;
+        assert_eq!(c.window, c.mss, "Linux 1.2.8 TCP window = one packet");
+    }
+
+    #[test]
+    fn others_have_multi_packet_windows() {
+        for os in [Os::FreeBsd, Os::Solaris] {
+            let c = NetCosts::for_os(os).tcp;
+            assert!(
+                c.window >= 6 * c.mss,
+                "{os:?} streams against a real window"
+            );
+        }
+    }
+
+    #[test]
+    fn linux_udp_per_byte_is_the_worst() {
+        let total = |os: Os| {
+            let u = NetCosts::for_os(os).udp;
+            u.send_per_byte_cy + u.recv_per_byte_cy
+        };
+        assert!(total(Os::Linux) > 2.0 * total(Os::FreeBsd));
+        assert!(total(Os::Solaris) > total(Os::FreeBsd));
+    }
+}

@@ -1,0 +1,678 @@
+//! The NFS client: a [`Filesystem`] implementation that forwards
+//! operations over SunRPC/UDP to a server machine.
+//!
+//! Because it implements the same VFS trait as the local filesystems,
+//! the Modified Andrew Benchmark runs over NFS unchanged — exactly the
+//! paper's Section 10 setup.
+//!
+//! Per-OS client behaviour (the Table 6/7 story):
+//!
+//! - **transfer size**: the Linux 1.2.8 client moves data in 1 KB RPCs;
+//!   FreeBSD and Solaris use 8 KB. Against the Linux server's
+//!   asynchronous writes the extra RPCs cost only CPU and wire time, but
+//!   against the SunOS server every WRITE RPC pays a disk commit — eight
+//!   times as many commits is how the Linux client "performs miserably"
+//!   against a SunOS server (115.06 s vs FreeBSD's 67.60 s);
+//! - **attribute caching**: the FreeBSD client answers repeated stats
+//!   locally; the others go back to the server.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::proto::{Fh, NfsCall, NfsReply, RpcReply, RpcRequest};
+use tnt_cpu::copyin_out;
+use tnt_net::{Addr, Net, Recv, UdpSocket};
+use tnt_os::{Errno, FileAttr, Filesystem, KEnv, Kernel, OpenFlags, Os, SysResult, VnodeId};
+use tnt_sim::{Cycles, SimMutex};
+
+/// Per-OS client parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct NfsClientParams {
+    /// READ transfer size.
+    pub rsize: u64,
+    /// WRITE transfer size.
+    pub wsize: u64,
+    /// Whether attributes are cached client-side.
+    pub attr_cache: bool,
+    /// Client CPU per RPC issued.
+    pub per_op_cy: u64,
+    /// CPU for an operation served entirely from client caches.
+    pub cache_hit_cy: u64,
+    /// Bytes of file data the client may cache (the 1995 clients shared
+    /// a pressured buffer cache; this is deliberately small).
+    pub data_cache_bytes: u64,
+    /// Issue a commit RPC on last close (Solaris close-to-open write
+    /// semantics; expensive against a spec-compliant sync server).
+    pub close_commit: bool,
+}
+
+impl NfsClientParams {
+    /// The client personality of `os`.
+    pub fn for_os(os: Os) -> NfsClientParams {
+        match os {
+            // The 1.2.8 client: 1 KB transfers, no attribute cache.
+            Os::Linux => NfsClientParams {
+                rsize: 1024,
+                wsize: 1024,
+                attr_cache: false,
+                per_op_cy: 8_000,
+                cache_hit_cy: 1_200,
+                data_cache_bytes: 256 * 1024,
+                close_commit: false,
+            },
+            Os::FreeBsd => NfsClientParams {
+                rsize: 8192,
+                wsize: 8192,
+                attr_cache: true,
+                per_op_cy: 10_000,
+                cache_hit_cy: 1_500,
+                data_cache_bytes: 512 * 1024,
+                close_commit: false,
+            },
+            Os::Solaris => NfsClientParams {
+                rsize: 8192,
+                wsize: 8192,
+                attr_cache: true,
+                per_op_cy: 18_000,
+                cache_hit_cy: 2_500,
+                data_cache_bytes: 512 * 1024,
+                close_commit: true,
+            },
+            Os::SunOs => NfsClientParams {
+                rsize: 8192,
+                wsize: 8192,
+                attr_cache: true,
+                per_op_cy: 10_000,
+                cache_hit_cy: 1_500,
+                data_cache_bytes: 512 * 1024,
+                close_commit: false,
+            },
+        }
+    }
+}
+
+/// Initial RPC retransmission timeout (700 ms, the classic default).
+const RPC_TIMEOUT: Cycles = Cycles(70_000_000);
+
+/// Retransmissions before the client gives up with `EIO`.
+const RPC_RETRIES: u32 = 5;
+
+struct CState {
+    xid: u32,
+    root: Fh,
+    /// Directory name cache: absolute path -> handle.
+    dnlc: HashMap<String, Fh>,
+    /// Attribute cache.
+    attrs: HashMap<Fh, FileAttr>,
+    /// Highest contiguously cached byte per file (client data cache).
+    data_hi: HashMap<Fh, u64>,
+    /// FIFO of files in the data cache (for budget eviction).
+    data_order: Vec<Fh>,
+    /// RPCs issued, by procedure name.
+    rpc_counts: HashMap<&'static str, u64>,
+    /// Retransmissions performed (lost request or lost reply).
+    retransmits: u64,
+}
+
+/// A mounted NFS filesystem (the client side).
+pub struct NfsClient {
+    sock: Arc<UdpSocket>,
+    server: Addr,
+    params: NfsClientParams,
+    rpc_lock: SimMutex,
+    state: Mutex<CState>,
+}
+
+impl NfsClient {
+    /// Mounts `server` from `kernel`'s machine (`client_host` on `net`).
+    pub fn mount(
+        net: &Net,
+        kernel: &Kernel,
+        client_host: u32,
+        server: Addr,
+    ) -> SysResult<Arc<NfsClient>> {
+        let params = NfsClientParams::for_os(kernel.costs().os);
+        let sock = UdpSocket::bind(net, kernel, client_host, 700)?;
+        let client = Arc::new(NfsClient {
+            sock,
+            server,
+            params,
+            rpc_lock: SimMutex::new(kernel.sim()),
+            state: Mutex::new(CState {
+                xid: 0,
+                root: 0,
+                dnlc: HashMap::new(),
+                attrs: HashMap::new(),
+                data_hi: HashMap::new(),
+                data_order: Vec::new(),
+                rpc_counts: HashMap::new(),
+                retransmits: 0,
+            }),
+        });
+        Ok(client)
+    }
+
+    /// The client's parameters.
+    pub fn params(&self) -> NfsClientParams {
+        self.params
+    }
+
+    /// RPCs issued so far, by procedure name.
+    pub fn rpc_counts(&self) -> HashMap<&'static str, u64> {
+        self.state.lock().rpc_counts.clone()
+    }
+
+    /// Total RPCs issued.
+    pub fn rpc_total(&self) -> u64 {
+        self.state.lock().rpc_counts.values().sum()
+    }
+
+    /// Retransmissions performed so far (non-zero only on a lossy wire).
+    pub fn retransmits(&self) -> u64 {
+        self.state.lock().retransmits
+    }
+
+    fn call_name(call: &NfsCall) -> &'static str {
+        match call {
+            NfsCall::Null => "null",
+            NfsCall::Getattr { .. } => "getattr",
+            NfsCall::Lookup { .. } => "lookup",
+            NfsCall::Read { .. } => "read",
+            NfsCall::Write { .. } => "write",
+            NfsCall::Create { .. } => "create",
+            NfsCall::Remove { .. } => "remove",
+            NfsCall::Mkdir { .. } => "mkdir",
+            NfsCall::Rmdir { .. } => "rmdir",
+            NfsCall::Readdir { .. } => "readdir",
+            NfsCall::Rename { .. } => "rename",
+            NfsCall::Shutdown => "shutdown",
+        }
+    }
+
+    /// Issues one RPC and waits for its reply. Serialised per mount, as
+    /// the 1995 single-threaded clients effectively were.
+    fn rpc(&self, env: &KEnv, call: NfsCall, pad: u64) -> SysResult<NfsReply> {
+        self.rpc_lock.lock(&env.sim);
+        let result = self.rpc_locked(env, call, pad);
+        self.rpc_lock.unlock(&env.sim);
+        result
+    }
+
+    fn rpc_locked(&self, env: &KEnv, call: NfsCall, pad: u64) -> SysResult<NfsReply> {
+        let xid = {
+            let mut st = self.state.lock();
+            st.xid += 1;
+            *st.rpc_counts.entry(Self::call_name(&call)).or_insert(0) += 1;
+            st.xid
+        };
+        env.sim.charge(Cycles(self.params.per_op_cy));
+        let bytes = RpcRequest { xid, call }.encode();
+        // Send, then wait with the classic doubling timeout; a lost
+        // request or lost reply is retransmitted with the SAME xid so
+        // the server's duplicate-request cache can absorb replays.
+        let mut timeout = RPC_TIMEOUT;
+        for attempt in 0..=RPC_RETRIES {
+            if attempt > 0 {
+                self.state.lock().retransmits += 1;
+            }
+            self.sock.send_padded(self.server, bytes.clone(), pad)?;
+            let deadline = env.sim.now() + timeout;
+            loop {
+                let left = deadline.saturating_sub(env.sim.now());
+                if left == Cycles::ZERO {
+                    break;
+                }
+                match self.sock.recv_timeout(left)? {
+                    Recv::Packet(pkt) => match RpcReply::decode(&pkt.data) {
+                        Ok(r) if r.xid == xid => {
+                            return match r.reply {
+                                NfsReply::Error(e) => Err(e),
+                                other => Ok(other),
+                            };
+                        }
+                        _ => continue, // Stale xid or garbage.
+                    },
+                    Recv::TimedOut => break,
+                    Recv::Closed => return Err(Errno::EIO),
+                }
+            }
+            timeout = timeout + timeout;
+        }
+        Err(Errno::EIO)
+    }
+
+    fn root(&self, env: &KEnv) -> SysResult<Fh> {
+        {
+            let st = self.state.lock();
+            if st.root != 0 {
+                return Ok(st.root);
+            }
+        }
+        match self.rpc(
+            env,
+            NfsCall::Lookup {
+                dir: 0,
+                name: String::new(),
+            },
+            0,
+        )? {
+            NfsReply::Handle { fh, attr } => {
+                let mut st = self.state.lock();
+                st.root = fh;
+                st.attrs.insert(
+                    fh,
+                    FileAttr {
+                        vnode: fh,
+                        size: attr.size,
+                        is_dir: attr.is_dir,
+                        nlink: attr.nlink,
+                    },
+                );
+                Ok(fh)
+            }
+            _ => Err(Errno::EIO),
+        }
+    }
+
+    /// Resolves a path to a handle through the name cache, issuing LOOKUP
+    /// RPCs for uncached components.
+    fn fh_for(&self, env: &KEnv, path: &str) -> SysResult<Fh> {
+        let mut fh = self.root(env)?;
+        let mut walked = String::new();
+        for comp in path.split('/').filter(|c| !c.is_empty()) {
+            walked.push('/');
+            walked.push_str(comp);
+            let cached = self.state.lock().dnlc.get(&walked).copied();
+            match cached {
+                Some(hit) => {
+                    env.sim.charge(Cycles(self.params.cache_hit_cy / 4));
+                    fh = hit;
+                }
+                None => {
+                    match self.rpc(
+                        env,
+                        NfsCall::Lookup {
+                            dir: fh,
+                            name: comp.to_string(),
+                        },
+                        0,
+                    )? {
+                        NfsReply::Handle { fh: child, attr } => {
+                            let mut st = self.state.lock();
+                            st.dnlc.insert(walked.clone(), child);
+                            st.attrs.insert(
+                                child,
+                                FileAttr {
+                                    vnode: child,
+                                    size: attr.size,
+                                    is_dir: attr.is_dir,
+                                    nlink: attr.nlink,
+                                },
+                            );
+                            fh = child;
+                        }
+                        _ => return Err(Errno::EIO),
+                    }
+                }
+            }
+        }
+        Ok(fh)
+    }
+
+    fn split_parent(path: &str) -> SysResult<(&str, &str)> {
+        let trimmed = path.trim_end_matches('/');
+        let (dir, name) = match trimmed.rfind('/') {
+            Some(pos) => (&trimmed[..pos], &trimmed[pos + 1..]),
+            None => ("", trimmed),
+        };
+        if name.is_empty() {
+            return Err(Errno::EINVAL);
+        }
+        Ok((dir, name))
+    }
+
+    /// Clears every client-side cache (a fresh mount's view; called by
+    /// experiments between setup and measurement).
+    pub fn flush_caches(&self) {
+        let mut st = self.state.lock();
+        st.dnlc.clear();
+        st.attrs.clear();
+        st.data_hi.clear();
+        st.data_order.clear();
+    }
+
+    /// Records that `fh` is cached up to `hi` bytes, evicting the oldest
+    /// files once the data-cache budget is exceeded.
+    fn mark_cached(&self, fh: Fh, hi: u64) {
+        let mut st = self.state.lock();
+        if !st.data_hi.contains_key(&fh) {
+            st.data_order.push(fh);
+        }
+        st.data_hi.insert(fh, hi);
+        let mut total: u64 = st.data_hi.values().sum();
+        while total > self.params.data_cache_bytes && st.data_order.len() > 1 {
+            let victim = st.data_order.remove(0);
+            if victim == fh {
+                st.data_order.push(victim);
+                continue;
+            }
+            if let Some(bytes) = st.data_hi.remove(&victim) {
+                total -= bytes;
+            }
+        }
+    }
+
+    fn store_attr(&self, fh: Fh, attr: crate::proto::WireAttr) {
+        self.state.lock().attrs.insert(
+            fh,
+            FileAttr {
+                vnode: fh,
+                size: attr.size,
+                is_dir: attr.is_dir,
+                nlink: attr.nlink,
+            },
+        );
+    }
+}
+
+impl Filesystem for NfsClient {
+    fn lookup(&self, env: &KEnv, path: &str) -> SysResult<VnodeId> {
+        self.fh_for(env, path)
+    }
+
+    fn open(&self, env: &KEnv, path: &str, flags: OpenFlags) -> SysResult<VnodeId> {
+        if flags.create {
+            let (dir, name) = Self::split_parent(path)?;
+            let dir_fh = self.fh_for(env, dir)?;
+            let reply = self.rpc(
+                env,
+                NfsCall::Create {
+                    dir: dir_fh,
+                    name: name.to_string(),
+                    exclusive: flags.exclusive,
+                },
+                0,
+            )?;
+            match reply {
+                NfsReply::Handle { fh, attr } => {
+                    let mut st = self.state.lock();
+                    st.dnlc
+                        .insert(format!("{}/{}", dir.trim_end_matches('/'), name), fh);
+                    st.data_hi.remove(&fh);
+                    st.data_order.retain(|f| *f != fh);
+                    drop(st);
+                    self.store_attr(fh, attr);
+                    Ok(fh)
+                }
+                _ => Err(Errno::EIO),
+            }
+        } else {
+            let fh = self.fh_for(env, path)?;
+            // Close-to-open consistency: every open revalidates the
+            // attributes at the server, whatever the attribute cache says.
+            let is_dir = match self.rpc(env, NfsCall::Getattr { fh }, 0)? {
+                NfsReply::Attr(attr) => {
+                    self.store_attr(fh, attr);
+                    attr.is_dir
+                }
+                _ => return Err(Errno::EIO),
+            };
+            if is_dir && flags.write {
+                return Err(Errno::EISDIR);
+            }
+            if flags.truncate {
+                let (dir, name) = Self::split_parent(path)?;
+                let dir_fh = self.fh_for(env, dir)?;
+                self.rpc(
+                    env,
+                    NfsCall::Create {
+                        dir: dir_fh,
+                        name: name.to_string(),
+                        exclusive: false,
+                    },
+                    0,
+                )?;
+                self.state.lock().data_hi.remove(&fh);
+            }
+            Ok(fh)
+        }
+    }
+
+    fn read(&self, env: &KEnv, vnode: VnodeId, off: u64, len: u64) -> SysResult<u64> {
+        let attr = self.getattr_cached(env, vnode)?;
+        if attr.is_dir {
+            return Err(Errno::EISDIR);
+        }
+        let size = attr.size;
+        if off >= size {
+            env.sim.charge(Cycles(self.params.cache_hit_cy));
+            return Ok(0);
+        }
+        let n = len.min(size - off);
+        let cached_hi = self.state.lock().data_hi.get(&vnode).copied().unwrap_or(0);
+        if off + n <= cached_hi {
+            // Served from the client's data cache.
+            env.sim
+                .charge(Cycles(self.params.cache_hit_cy) + copyin_out(n));
+            return Ok(n);
+        }
+        let mut done = 0;
+        while done < n {
+            let chunk = (n - done).min(self.params.rsize);
+            match self.rpc(
+                env,
+                NfsCall::Read {
+                    fh: vnode,
+                    off: off + done,
+                    len: chunk,
+                },
+                0,
+            )? {
+                NfsReply::Data { len: got } => {
+                    env.sim.charge(copyin_out(got));
+                    done += got;
+                    if got < chunk {
+                        break;
+                    }
+                }
+                _ => return Err(Errno::EIO),
+            }
+        }
+        let hi_now = self.state.lock().data_hi.get(&vnode).copied().unwrap_or(0);
+        if off <= hi_now {
+            self.mark_cached(vnode, hi_now.max(off + done));
+        }
+        Ok(done)
+    }
+
+    fn write(&self, env: &KEnv, vnode: VnodeId, off: u64, len: u64) -> SysResult<u64> {
+        if self.getattr_cached(env, vnode)?.is_dir {
+            return Err(Errno::EISDIR);
+        }
+        let mut done = 0;
+        while done < len {
+            let chunk = (len - done).min(self.params.wsize);
+            env.sim.charge(copyin_out(chunk));
+            match self.rpc(
+                env,
+                NfsCall::Write {
+                    fh: vnode,
+                    off: off + done,
+                    len: chunk,
+                },
+                chunk,
+            )? {
+                NfsReply::Wrote { len: wrote } => done += wrote,
+                _ => return Err(Errno::EIO),
+            }
+        }
+        let hi_now = {
+            let mut st = self.state.lock();
+            if let Some(a) = st.attrs.get_mut(&vnode) {
+                a.size = a.size.max(off + len);
+            }
+            st.data_hi.get(&vnode).copied().unwrap_or(0)
+        };
+        if off <= hi_now {
+            self.mark_cached(vnode, hi_now.max(off + len));
+        }
+        Ok(len)
+    }
+
+    fn getattr(&self, env: &KEnv, vnode: VnodeId) -> SysResult<FileAttr> {
+        self.getattr_cached(env, vnode)
+    }
+
+    fn unlink(&self, env: &KEnv, path: &str) -> SysResult<()> {
+        let (dir, name) = Self::split_parent(path)?;
+        let dir_fh = self.fh_for(env, dir)?;
+        self.rpc(
+            env,
+            NfsCall::Remove {
+                dir: dir_fh,
+                name: name.to_string(),
+            },
+            0,
+        )?;
+        let mut st = self.state.lock();
+        if let Some(fh) = st
+            .dnlc
+            .remove(&format!("{}/{}", dir.trim_end_matches('/'), name))
+        {
+            st.attrs.remove(&fh);
+            st.data_hi.remove(&fh);
+        }
+        Ok(())
+    }
+
+    fn mkdir(&self, env: &KEnv, path: &str) -> SysResult<()> {
+        let (dir, name) = Self::split_parent(path)?;
+        let dir_fh = self.fh_for(env, dir)?;
+        match self.rpc(
+            env,
+            NfsCall::Mkdir {
+                dir: dir_fh,
+                name: name.to_string(),
+            },
+            0,
+        )? {
+            NfsReply::Handle { fh, attr } => {
+                self.state
+                    .lock()
+                    .dnlc
+                    .insert(format!("{}/{}", dir.trim_end_matches('/'), name), fh);
+                self.store_attr(fh, attr);
+                Ok(())
+            }
+            _ => Err(Errno::EIO),
+        }
+    }
+
+    fn rmdir(&self, env: &KEnv, path: &str) -> SysResult<()> {
+        let (dir, name) = Self::split_parent(path)?;
+        let dir_fh = self.fh_for(env, dir)?;
+        self.rpc(
+            env,
+            NfsCall::Rmdir {
+                dir: dir_fh,
+                name: name.to_string(),
+            },
+            0,
+        )?;
+        let mut st = self.state.lock();
+        if let Some(fh) = st
+            .dnlc
+            .remove(&format!("{}/{}", dir.trim_end_matches('/'), name))
+        {
+            st.attrs.remove(&fh);
+        }
+        Ok(())
+    }
+
+    fn readdir(&self, env: &KEnv, path: &str) -> SysResult<Vec<String>> {
+        let fh = self.fh_for(env, path)?;
+        match self.rpc(env, NfsCall::Readdir { dir: fh }, 0)? {
+            NfsReply::Names(names) => Ok(names),
+            _ => Err(Errno::EIO),
+        }
+    }
+
+    fn fsync(&self, _env: &KEnv, _vnode: VnodeId) -> SysResult<()> {
+        // NFSv2 writes are write-through from the client's perspective.
+        Ok(())
+    }
+
+    fn sync(&self, _env: &KEnv) {}
+
+    fn rename(&self, env: &KEnv, from: &str, to: &str) -> SysResult<()> {
+        let (from_dir, from_name) = Self::split_parent(from)?;
+        let (to_dir, to_name) = Self::split_parent(to)?;
+        let from_fh = self.fh_for(env, from_dir)?;
+        let to_fh = self.fh_for(env, to_dir)?;
+        self.rpc(
+            env,
+            NfsCall::Rename {
+                from_dir: from_fh,
+                from_name: from_name.to_string(),
+                to_dir: to_fh,
+                to_name: to_name.to_string(),
+            },
+            0,
+        )?;
+        let mut st = self.state.lock();
+        let from_key = format!("{}/{}", from_dir.trim_end_matches('/'), from_name);
+        let to_key = format!("{}/{}", to_dir.trim_end_matches('/'), to_name);
+        // The target's old identity (if any) is gone; the source's handle
+        // moves to the target name.
+        if let Some(clobbered) = st.dnlc.remove(&to_key) {
+            st.attrs.remove(&clobbered);
+            st.data_hi.remove(&clobbered);
+        }
+        if let Some(fh) = st.dnlc.remove(&from_key) {
+            st.dnlc.insert(to_key, fh);
+        }
+        Ok(())
+    }
+
+    fn release(&self, env: &KEnv, vnode: VnodeId) {
+        if self.params.close_commit {
+            // Solaris flushes the file's state on close; against a
+            // spec-compliant server this commits the inode to disk.
+            let _ = self.rpc(
+                env,
+                NfsCall::Write {
+                    fh: vnode,
+                    off: 0,
+                    len: 0,
+                },
+                0,
+            );
+        }
+    }
+}
+
+impl NfsClient {
+    fn getattr_cached(&self, env: &KEnv, vnode: VnodeId) -> SysResult<FileAttr> {
+        if self.params.attr_cache {
+            if let Some(a) = self.state.lock().attrs.get(&vnode) {
+                env.sim.charge(Cycles(self.params.cache_hit_cy));
+                return Ok(*a);
+            }
+        }
+        match self.rpc(env, NfsCall::Getattr { fh: vnode }, 0)? {
+            NfsReply::Attr(attr) => {
+                let a = FileAttr {
+                    vnode,
+                    size: attr.size,
+                    is_dir: attr.is_dir,
+                    nlink: attr.nlink,
+                };
+                self.state.lock().attrs.insert(vnode, a);
+                Ok(a)
+            }
+            _ => Err(Errno::EIO),
+        }
+    }
+}

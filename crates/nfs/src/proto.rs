@@ -1,0 +1,504 @@
+//! NFSv2-style RPC message definitions and their XDR codecs.
+//!
+//! The procedures cover exactly what the Modified Andrew Benchmark needs:
+//! name lookup, attributes, reads, writes, create/remove, directory
+//! create/remove/list. File handles are the server filesystem's vnode
+//! ids, as real NFSv2 handles essentially were.
+
+use crate::xdr::{XdrDecoder, XdrEncoder};
+use tnt_os::{Errno, SysResult};
+
+/// The well-known NFS port.
+pub const NFS_PORT: u16 = 2049;
+
+/// An NFS file handle (the server's vnode id).
+pub type Fh = u64;
+
+/// Wire form of file attributes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WireAttr {
+    /// File size in bytes.
+    pub size: u64,
+    /// Whether the object is a directory.
+    pub is_dir: bool,
+    /// Link count.
+    pub nlink: u32,
+}
+
+/// An NFS call.
+#[derive(Clone, Debug, PartialEq)]
+pub enum NfsCall {
+    /// No-op (RPC ping).
+    Null,
+    /// Fetch attributes.
+    Getattr {
+        /// Object handle.
+        fh: Fh,
+    },
+    /// Look a name up in a directory.
+    Lookup {
+        /// Directory handle.
+        dir: Fh,
+        /// Component name.
+        name: String,
+    },
+    /// Read `len` bytes at `off`.
+    Read {
+        /// File handle.
+        fh: Fh,
+        /// Byte offset.
+        off: u64,
+        /// Byte count.
+        len: u64,
+    },
+    /// Write `len` bytes at `off` (payload travels as datagram padding).
+    Write {
+        /// File handle.
+        fh: Fh,
+        /// Byte offset.
+        off: u64,
+        /// Byte count.
+        len: u64,
+    },
+    /// Create (or truncate) a file in a directory.
+    Create {
+        /// Directory handle.
+        dir: Fh,
+        /// New file name.
+        name: String,
+        /// Fail if it exists.
+        exclusive: bool,
+    },
+    /// Remove a file.
+    Remove {
+        /// Directory handle.
+        dir: Fh,
+        /// File name.
+        name: String,
+    },
+    /// Create a directory.
+    Mkdir {
+        /// Parent directory handle.
+        dir: Fh,
+        /// New directory name.
+        name: String,
+    },
+    /// Remove an empty directory.
+    Rmdir {
+        /// Parent directory handle.
+        dir: Fh,
+        /// Directory name.
+        name: String,
+    },
+    /// List a directory.
+    Readdir {
+        /// Directory handle.
+        dir: Fh,
+    },
+    /// Rename within the export.
+    Rename {
+        /// Source directory handle.
+        from_dir: Fh,
+        /// Source name.
+        from_name: String,
+        /// Target directory handle.
+        to_dir: Fh,
+        /// Target name.
+        to_name: String,
+    },
+    /// Tear the server down (testing convenience, not a real NFS proc).
+    Shutdown,
+}
+
+/// An NFS reply.
+#[derive(Clone, Debug, PartialEq)]
+pub enum NfsReply {
+    /// The call failed with this error.
+    Error(Errno),
+    /// Attributes.
+    Attr(WireAttr),
+    /// A handle plus its attributes (LOOKUP/CREATE/MKDIR).
+    Handle {
+        /// The object's handle.
+        fh: Fh,
+        /// Its attributes.
+        attr: WireAttr,
+    },
+    /// Read result: `len` payload bytes follow as datagram padding.
+    Data {
+        /// Bytes read.
+        len: u64,
+    },
+    /// Write result.
+    Wrote {
+        /// Bytes written.
+        len: u64,
+    },
+    /// Directory listing.
+    Names(Vec<String>),
+    /// Success with no body (REMOVE/RMDIR/SHUTDOWN/NULL).
+    Ok,
+}
+
+/// A request with its transaction id.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RpcRequest {
+    /// Transaction id, echoed in the reply.
+    pub xid: u32,
+    /// The call.
+    pub call: NfsCall,
+}
+
+/// A reply with its transaction id.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RpcReply {
+    /// Matches the request.
+    pub xid: u32,
+    /// The result.
+    pub reply: NfsReply,
+}
+
+fn errno_code(e: Errno) -> u32 {
+    match e {
+        Errno::EBADF => 9,
+        Errno::EPIPE => 32,
+        Errno::ENOENT => 2,
+        Errno::EEXIST => 17,
+        Errno::ENOTDIR => 20,
+        Errno::EISDIR => 21,
+        Errno::ENOTEMPTY => 66,
+        Errno::ENOSPC => 28,
+        Errno::EINVAL => 22,
+        Errno::ENOSYS => 38,
+        Errno::ECONNREFUSED => 111,
+        Errno::EADDRINUSE => 98,
+        Errno::ENOTCONN => 107,
+        Errno::EMSGSIZE => 90,
+        Errno::EAGAIN => 11,
+        Errno::EIO => 5,
+    }
+}
+
+fn code_errno(c: u32) -> Errno {
+    match c {
+        9 => Errno::EBADF,
+        32 => Errno::EPIPE,
+        2 => Errno::ENOENT,
+        17 => Errno::EEXIST,
+        20 => Errno::ENOTDIR,
+        21 => Errno::EISDIR,
+        66 => Errno::ENOTEMPTY,
+        28 => Errno::ENOSPC,
+        38 => Errno::ENOSYS,
+        111 => Errno::ECONNREFUSED,
+        98 => Errno::EADDRINUSE,
+        107 => Errno::ENOTCONN,
+        90 => Errno::EMSGSIZE,
+        11 => Errno::EAGAIN,
+        5 => Errno::EIO,
+        _ => Errno::EINVAL,
+    }
+}
+
+fn encode_attr(e: &mut XdrEncoder, a: &WireAttr) {
+    e.u64(a.size).boolean(a.is_dir).u32(a.nlink);
+}
+
+fn decode_attr(d: &mut XdrDecoder<'_>) -> SysResult<WireAttr> {
+    Ok(WireAttr {
+        size: d.u64()?,
+        is_dir: d.boolean()?,
+        nlink: d.u32()?,
+    })
+}
+
+impl RpcRequest {
+    /// Serialises the request.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut e = XdrEncoder::new();
+        e.u32(self.xid);
+        match &self.call {
+            NfsCall::Null => {
+                e.u32(0);
+            }
+            NfsCall::Getattr { fh } => {
+                e.u32(1).u64(*fh);
+            }
+            NfsCall::Lookup { dir, name } => {
+                e.u32(2).u64(*dir).string(name);
+            }
+            NfsCall::Read { fh, off, len } => {
+                e.u32(3).u64(*fh).u64(*off).u64(*len);
+            }
+            NfsCall::Write { fh, off, len } => {
+                e.u32(4).u64(*fh).u64(*off).u64(*len);
+            }
+            NfsCall::Create {
+                dir,
+                name,
+                exclusive,
+            } => {
+                e.u32(5).u64(*dir).string(name).boolean(*exclusive);
+            }
+            NfsCall::Remove { dir, name } => {
+                e.u32(6).u64(*dir).string(name);
+            }
+            NfsCall::Mkdir { dir, name } => {
+                e.u32(7).u64(*dir).string(name);
+            }
+            NfsCall::Rmdir { dir, name } => {
+                e.u32(8).u64(*dir).string(name);
+            }
+            NfsCall::Readdir { dir } => {
+                e.u32(9).u64(*dir);
+            }
+            NfsCall::Rename {
+                from_dir,
+                from_name,
+                to_dir,
+                to_name,
+            } => {
+                e.u32(10)
+                    .u64(*from_dir)
+                    .string(from_name)
+                    .u64(*to_dir)
+                    .string(to_name);
+            }
+            NfsCall::Shutdown => {
+                e.u32(99);
+            }
+        }
+        e.into_bytes()
+    }
+
+    /// Deserialises a request.
+    pub fn decode(bytes: &[u8]) -> SysResult<RpcRequest> {
+        let mut d = XdrDecoder::new(bytes);
+        let xid = d.u32()?;
+        let proc_no = d.u32()?;
+        let call = match proc_no {
+            0 => NfsCall::Null,
+            1 => NfsCall::Getattr { fh: d.u64()? },
+            2 => NfsCall::Lookup {
+                dir: d.u64()?,
+                name: d.string()?,
+            },
+            3 => NfsCall::Read {
+                fh: d.u64()?,
+                off: d.u64()?,
+                len: d.u64()?,
+            },
+            4 => NfsCall::Write {
+                fh: d.u64()?,
+                off: d.u64()?,
+                len: d.u64()?,
+            },
+            5 => NfsCall::Create {
+                dir: d.u64()?,
+                name: d.string()?,
+                exclusive: d.boolean()?,
+            },
+            6 => NfsCall::Remove {
+                dir: d.u64()?,
+                name: d.string()?,
+            },
+            7 => NfsCall::Mkdir {
+                dir: d.u64()?,
+                name: d.string()?,
+            },
+            8 => NfsCall::Rmdir {
+                dir: d.u64()?,
+                name: d.string()?,
+            },
+            9 => NfsCall::Readdir { dir: d.u64()? },
+            10 => NfsCall::Rename {
+                from_dir: d.u64()?,
+                from_name: d.string()?,
+                to_dir: d.u64()?,
+                to_name: d.string()?,
+            },
+            99 => NfsCall::Shutdown,
+            _ => return Err(Errno::EINVAL),
+        };
+        Ok(RpcRequest { xid, call })
+    }
+}
+
+impl RpcReply {
+    /// Serialises the reply.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut e = XdrEncoder::new();
+        e.u32(self.xid);
+        match &self.reply {
+            NfsReply::Error(err) => {
+                e.u32(0).u32(errno_code(*err));
+            }
+            NfsReply::Attr(a) => {
+                e.u32(1);
+                encode_attr(&mut e, a);
+            }
+            NfsReply::Handle { fh, attr } => {
+                e.u32(2).u64(*fh);
+                encode_attr(&mut e, attr);
+            }
+            NfsReply::Data { len } => {
+                e.u32(3).u64(*len);
+            }
+            NfsReply::Wrote { len } => {
+                e.u32(4).u64(*len);
+            }
+            NfsReply::Names(names) => {
+                e.u32(5).u32(names.len() as u32);
+                for n in names {
+                    e.string(n);
+                }
+            }
+            NfsReply::Ok => {
+                e.u32(6);
+            }
+        }
+        e.into_bytes()
+    }
+
+    /// Deserialises a reply.
+    pub fn decode(bytes: &[u8]) -> SysResult<RpcReply> {
+        let mut d = XdrDecoder::new(bytes);
+        let xid = d.u32()?;
+        let tag = d.u32()?;
+        let reply = match tag {
+            0 => NfsReply::Error(code_errno(d.u32()?)),
+            1 => NfsReply::Attr(decode_attr(&mut d)?),
+            2 => NfsReply::Handle {
+                fh: d.u64()?,
+                attr: decode_attr(&mut d)?,
+            },
+            3 => NfsReply::Data { len: d.u64()? },
+            4 => NfsReply::Wrote { len: d.u64()? },
+            5 => {
+                let n = d.u32()? as usize;
+                if n > 100_000 {
+                    return Err(Errno::EINVAL);
+                }
+                let mut names = Vec::with_capacity(n);
+                for _ in 0..n {
+                    names.push(d.string()?);
+                }
+                NfsReply::Names(names)
+            }
+            6 => NfsReply::Ok,
+            _ => return Err(Errno::EINVAL),
+        };
+        Ok(RpcReply { xid, reply })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn requests_round_trip() {
+        let calls = vec![
+            NfsCall::Null,
+            NfsCall::Getattr { fh: 42 },
+            NfsCall::Lookup {
+                dir: 1,
+                name: "Makefile".into(),
+            },
+            NfsCall::Read {
+                fh: 9,
+                off: 8192,
+                len: 8192,
+            },
+            NfsCall::Write {
+                fh: 9,
+                off: 0,
+                len: 1024,
+            },
+            NfsCall::Create {
+                dir: 1,
+                name: "a.o".into(),
+                exclusive: false,
+            },
+            NfsCall::Remove {
+                dir: 1,
+                name: "a.o".into(),
+            },
+            NfsCall::Mkdir {
+                dir: 1,
+                name: "sub".into(),
+            },
+            NfsCall::Rmdir {
+                dir: 1,
+                name: "sub".into(),
+            },
+            NfsCall::Readdir { dir: 1 },
+            NfsCall::Rename {
+                from_dir: 1,
+                from_name: "a.tmp".into(),
+                to_dir: 1,
+                to_name: "a".into(),
+            },
+            NfsCall::Shutdown,
+        ];
+        for (i, call) in calls.into_iter().enumerate() {
+            let req = RpcRequest {
+                xid: i as u32,
+                call,
+            };
+            let decoded = RpcRequest::decode(&req.encode()).unwrap();
+            assert_eq!(decoded, req);
+        }
+    }
+
+    #[test]
+    fn replies_round_trip() {
+        let attr = WireAttr {
+            size: 123,
+            is_dir: false,
+            nlink: 1,
+        };
+        let replies = vec![
+            NfsReply::Error(Errno::ENOENT),
+            NfsReply::Attr(attr),
+            NfsReply::Handle { fh: 77, attr },
+            NfsReply::Data { len: 8192 },
+            NfsReply::Wrote { len: 1024 },
+            NfsReply::Names(vec!["a".into(), "bb".into(), "ccc".into()]),
+            NfsReply::Ok,
+        ];
+        for (i, reply) in replies.into_iter().enumerate() {
+            let r = RpcReply {
+                xid: 1000 + i as u32,
+                reply,
+            };
+            let decoded = RpcReply::decode(&r.encode()).unwrap();
+            assert_eq!(decoded, r);
+        }
+    }
+
+    #[test]
+    fn garbage_is_rejected() {
+        assert!(RpcRequest::decode(&[1, 2, 3]).is_err());
+        assert!(RpcReply::decode(&[]).is_err());
+        let mut e = XdrEncoder::new();
+        e.u32(5).u32(77); // Unknown proc 77.
+        assert_eq!(
+            RpcRequest::decode(&e.into_bytes()).err(),
+            Some(Errno::EINVAL)
+        );
+    }
+
+    #[test]
+    fn errno_codes_round_trip() {
+        for e in [
+            Errno::ENOENT,
+            Errno::EEXIST,
+            Errno::ENOTEMPTY,
+            Errno::EISDIR,
+            Errno::EIO,
+        ] {
+            assert_eq!(code_errno(errno_code(e)), e);
+        }
+    }
+}

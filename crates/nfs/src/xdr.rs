@@ -1,0 +1,185 @@
+//! Minimal XDR (RFC 1014) encoding for the SunRPC/NFS messages.
+//!
+//! Everything on the simulated wire really is serialised: the RPC layer
+//! builds byte buffers that travel through the UDP model, so message
+//! sizes (and therefore wire times) come from the actual encoding.
+
+use tnt_os::{Errno, SysResult};
+
+/// XDR serialiser.
+#[derive(Default)]
+pub struct XdrEncoder {
+    buf: Vec<u8>,
+}
+
+impl XdrEncoder {
+    /// An empty encoder.
+    pub fn new() -> XdrEncoder {
+        XdrEncoder::default()
+    }
+
+    /// Appends a big-endian u32.
+    pub fn u32(&mut self, v: u32) -> &mut Self {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+        self
+    }
+
+    /// Appends a big-endian u64 (as an XDR hyper).
+    pub fn u64(&mut self, v: u64) -> &mut Self {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+        self
+    }
+
+    /// Appends a bool as a u32.
+    pub fn boolean(&mut self, v: bool) -> &mut Self {
+        self.u32(v as u32)
+    }
+
+    /// Appends a counted, 4-byte-padded opaque.
+    pub fn opaque(&mut self, bytes: &[u8]) -> &mut Self {
+        self.u32(bytes.len() as u32);
+        self.buf.extend_from_slice(bytes);
+        let pad = (4 - bytes.len() % 4) % 4;
+        self.buf.extend(std::iter::repeat_n(0u8, pad));
+        self
+    }
+
+    /// Appends a string as an opaque.
+    pub fn string(&mut self, s: &str) -> &mut Self {
+        self.opaque(s.as_bytes())
+    }
+
+    /// Finishes encoding.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Bytes encoded so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been encoded.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+}
+
+/// XDR deserialiser. Every accessor fails with `EINVAL` on truncated or
+/// malformed input rather than panicking.
+pub struct XdrDecoder<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> XdrDecoder<'a> {
+    /// Wraps a byte buffer.
+    pub fn new(data: &'a [u8]) -> XdrDecoder<'a> {
+        XdrDecoder { data, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> SysResult<&'a [u8]> {
+        if self.pos + n > self.data.len() {
+            return Err(Errno::EINVAL);
+        }
+        let s = &self.data[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Reads a u32.
+    pub fn u32(&mut self) -> SysResult<u32> {
+        let b = self.take(4)?;
+        Ok(u32::from_be_bytes(b.try_into().expect("4 bytes")))
+    }
+
+    /// Reads a u64.
+    pub fn u64(&mut self) -> SysResult<u64> {
+        let b = self.take(8)?;
+        Ok(u64::from_be_bytes(b.try_into().expect("8 bytes")))
+    }
+
+    /// Reads a bool.
+    pub fn boolean(&mut self) -> SysResult<bool> {
+        Ok(self.u32()? != 0)
+    }
+
+    /// Reads a counted, padded opaque.
+    pub fn opaque(&mut self) -> SysResult<&'a [u8]> {
+        let n = self.u32()? as usize;
+        let body = self.take(n)?;
+        let pad = (4 - n % 4) % 4;
+        self.take(pad)?;
+        Ok(body)
+    }
+
+    /// Reads a string.
+    pub fn string(&mut self) -> SysResult<String> {
+        let b = self.opaque()?;
+        String::from_utf8(b.to_vec()).map_err(|_| Errno::EINVAL)
+    }
+
+    /// Whether all input has been consumed.
+    pub fn finished(&self) -> bool {
+        self.pos == self.data.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_scalars() {
+        let mut e = XdrEncoder::new();
+        e.u32(7).u64(1 << 40).boolean(true).boolean(false);
+        let bytes = e.into_bytes();
+        let mut d = XdrDecoder::new(&bytes);
+        assert_eq!(d.u32().unwrap(), 7);
+        assert_eq!(d.u64().unwrap(), 1 << 40);
+        assert!(d.boolean().unwrap());
+        assert!(!d.boolean().unwrap());
+        assert!(d.finished());
+    }
+
+    #[test]
+    fn strings_are_padded_to_four() {
+        let mut e = XdrEncoder::new();
+        e.string("abcde"); // 4 len + 5 data + 3 pad
+        let bytes = e.into_bytes();
+        assert_eq!(bytes.len(), 12);
+        let mut d = XdrDecoder::new(&bytes);
+        assert_eq!(d.string().unwrap(), "abcde");
+        assert!(d.finished());
+    }
+
+    #[test]
+    fn truncation_is_einval_not_panic() {
+        let mut e = XdrEncoder::new();
+        e.string("hello world");
+        let bytes = e.into_bytes();
+        let mut d = XdrDecoder::new(&bytes[..6]);
+        assert_eq!(d.string().err(), Some(Errno::EINVAL));
+        let mut d = XdrDecoder::new(&[0, 0]);
+        assert_eq!(d.u32().err(), Some(Errno::EINVAL));
+    }
+
+    #[test]
+    fn bogus_length_is_einval() {
+        let mut e = XdrEncoder::new();
+        e.u32(1_000_000); // Claims a megabyte of opaque that isn't there.
+        let bytes = e.into_bytes();
+        let mut d = XdrDecoder::new(&bytes);
+        assert_eq!(d.opaque().err(), Some(Errno::EINVAL));
+    }
+
+    #[test]
+    fn empty_opaque() {
+        let mut e = XdrEncoder::new();
+        e.opaque(&[]);
+        let bytes = e.into_bytes();
+        assert_eq!(bytes.len(), 4);
+        let mut d = XdrDecoder::new(&bytes);
+        assert_eq!(d.opaque().unwrap(), &[] as &[u8]);
+    }
+}

@@ -1,0 +1,258 @@
+//! Per-operating-system cost tables.
+//!
+//! Every constant here is in CPU cycles of the 100 MHz Pentium (so 100
+//! cycles = 1 µs) and is calibrated against a measurement the paper
+//! reports directly:
+//!
+//! - `trap_cy` is the full `getpid()` time of Table 2 (2.31 / 2.62 /
+//!   3.52 µs);
+//! - the dispatch costs are solved from Figure 1 (ring context switch of
+//!   55 / 80 / 220 µs at two processes, Linux slope crossing FreeBSD near
+//!   20 processes, the Solaris jump at 32);
+//! - the Solaris pipe costs reproduce the 80 µs one-byte self-roundtrip
+//!   the authors measured in Section 5;
+//! - pipe buffer sizes and per-segment costs land the Table 4 bandwidths.
+
+use std::sync::atomic::AtomicUsize;
+use std::sync::Arc;
+
+use tnt_sim::RunPolicy;
+
+use crate::sched::{FreeBsdSched, LinuxSched, SolarisSched};
+
+/// The operating systems modelled by this reproduction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Os {
+    /// Linux 1.2.8 (Slackware).
+    Linux,
+    /// FreeBSD 2.0.5R.
+    FreeBsd,
+    /// Solaris 2.4 x86.
+    Solaris,
+    /// SunOS 4.1.4 — only used as the remote NFS server of Table 7.
+    SunOs,
+}
+
+impl Os {
+    /// The three systems compared throughout the paper, in its usual order.
+    pub fn benchmarked() -> [Os; 3] {
+        [Os::Linux, Os::FreeBsd, Os::Solaris]
+    }
+
+    /// Display label as the paper prints it.
+    pub fn label(self) -> &'static str {
+        match self {
+            Os::Linux => "Linux",
+            Os::FreeBsd => "FreeBSD",
+            Os::Solaris => "Solaris 2.4",
+            Os::SunOs => "SunOS 4.1.4",
+        }
+    }
+}
+
+/// Scheduler cost parameters (Figure 1).
+#[derive(Clone, Copy, Debug)]
+pub struct DispatchCosts {
+    /// Fixed cost of one dispatch (run-queue pop, register reload, ...).
+    pub base_cy: u64,
+    /// Extra cost per live task: Linux 1.2's `schedule()` walks the task
+    /// table; zero for the others.
+    pub per_task_cy: u64,
+    /// Size of the Solaris dispatch table (0 = no table modelled).
+    pub table_slots: usize,
+    /// Extra cost when the dispatched thread misses the dispatch table.
+    pub table_miss_cy: u64,
+}
+
+/// Pipe implementation parameters (Figure 1, Table 4).
+#[derive(Clone, Copy, Debug)]
+pub struct PipeCosts {
+    /// Pipe buffer capacity in bytes (4 KB page for Linux, the socket
+    /// buffer for FreeBSD's socketpair-based pipes, the stream head high
+    /// watermark for Solaris).
+    pub capacity: u64,
+    /// Cost of entering the pipe read/write path, on top of the trap
+    /// (stream head traversal and `allocb` for Solaris).
+    pub write_op_cy: u64,
+    /// As `write_op_cy`, for the read side.
+    pub read_op_cy: u64,
+    /// Unit of internal data movement (a page for Linux, an mbuf cluster
+    /// for FreeBSD, an mblk for Solaris STREAMS).
+    pub seg_unit: u64,
+    /// Cost per `seg_unit` bytes moved on each side (page handling / mblk
+    /// management / sockbuf bookkeeping). Charged pro rata for partial
+    /// segments, so one-byte `ctx` token passes are barely affected.
+    pub per_seg_cy: u64,
+    /// Extra per-byte cost on top of the generic kernel copy (FreeBSD's
+    /// mbuf chains and Solaris STREAMS touch data less efficiently).
+    pub per_byte_extra: f64,
+}
+
+/// The complete cost personality of one modelled kernel.
+#[derive(Clone, Copy, Debug)]
+pub struct OsCosts {
+    /// Which system this is.
+    pub os: Os,
+    /// Trap in + dispatch + trivial handler + trap out: the `getpid` time.
+    pub trap_cy: u64,
+    /// Additional prologue for real syscalls (fd lookup, argument copyin).
+    pub syscall_overhead_cy: u64,
+    /// `fork()` cost: address-space setup and process-table work.
+    pub fork_cy: u64,
+    /// `exec()` cost: image load, a.out/ELF setup and (for Solaris 2.4,
+    /// notoriously) dynamic linking — excluding file reads.
+    pub exec_cy: u64,
+    /// Scheduler parameters.
+    pub dispatch: DispatchCosts,
+    /// Pipe parameters.
+    pub pipe: PipeCosts,
+    /// Run-to-run jitter fraction (Solaris shows far more variance in the
+    /// paper's Std Dev columns than the free systems).
+    pub jitter: f64,
+}
+
+impl OsCosts {
+    /// The calibrated cost table for `os`.
+    pub fn for_os(os: Os) -> OsCosts {
+        match os {
+            Os::Linux => OsCosts {
+                os,
+                trap_cy: 231,
+                syscall_overhead_cy: 160,
+                fork_cy: 45_000,
+                exec_cy: 2_200_000,
+                dispatch: DispatchCosts {
+                    base_cy: 3_500,
+                    per_task_cy: 140,
+                    table_slots: 0,
+                    table_miss_cy: 0,
+                },
+                pipe: PipeCosts {
+                    capacity: 4096,
+                    write_op_cy: 450,
+                    read_op_cy: 400,
+                    seg_unit: 4096,
+                    per_seg_cy: 2_500,
+                    per_byte_extra: 0.0,
+                },
+                jitter: 0.012,
+            },
+            Os::FreeBsd => OsCosts {
+                os,
+                trap_cy: 262,
+                syscall_overhead_cy: 180,
+                fork_cy: 70_000,
+                exec_cy: 2_500_000,
+                dispatch: DispatchCosts {
+                    base_cy: 6_100,
+                    per_task_cy: 0,
+                    table_slots: 0,
+                    table_miss_cy: 0,
+                },
+                pipe: PipeCosts {
+                    capacity: 16_384,
+                    write_op_cy: 600,
+                    read_op_cy: 550,
+                    seg_unit: 4096,
+                    per_seg_cy: 2_250,
+                    per_byte_extra: 1.35,
+                },
+                jitter: 0.015,
+            },
+            Os::Solaris => OsCosts {
+                os,
+                trap_cy: 352,
+                syscall_overhead_cy: 260,
+                fork_cy: 130_000,
+                exec_cy: 20_000_000,
+                dispatch: DispatchCosts {
+                    base_cy: 13_600,
+                    per_task_cy: 0,
+                    table_slots: 32,
+                    table_miss_cy: 8_000,
+                },
+                pipe: PipeCosts {
+                    capacity: 8192,
+                    write_op_cy: 4_500,
+                    read_op_cy: 3_500,
+                    seg_unit: 4096,
+                    per_seg_cy: 4_000,
+                    per_byte_extra: 1.5,
+                },
+                jitter: 0.028,
+            },
+            // SunOS 4.1.4 on a SPARC server; it only serves NFS in our
+            // experiments, so only rough costs matter.
+            Os::SunOs => OsCosts {
+                os,
+                trap_cy: 300,
+                syscall_overhead_cy: 200,
+                fork_cy: 80_000,
+                exec_cy: 3_500_000,
+                dispatch: DispatchCosts {
+                    base_cy: 7_000,
+                    per_task_cy: 0,
+                    table_slots: 0,
+                    table_miss_cy: 0,
+                },
+                pipe: PipeCosts {
+                    capacity: 4096,
+                    write_op_cy: 700,
+                    read_op_cy: 600,
+                    seg_unit: 4096,
+                    per_seg_cy: 3_000,
+                    per_byte_extra: 0.5,
+                },
+                jitter: 0.015,
+            },
+        }
+    }
+
+    /// Builds this system's scheduler as a [`RunPolicy`]. `tasks` must be
+    /// the kernel's live-process counter (Linux's O(n) scan walks it).
+    pub fn make_policy(&self, tasks: Arc<AtomicUsize>) -> Box<dyn RunPolicy> {
+        let d = self.dispatch;
+        match self.os {
+            Os::Linux => Box::new(LinuxSched::new(d.base_cy, d.per_task_cy, tasks)),
+            Os::FreeBsd | Os::SunOs => Box::new(FreeBsdSched::new(d.base_cy)),
+            Os::Solaris => Box::new(SolarisSched::new(d.base_cy, d.table_slots, d.table_miss_cy)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn getpid_times_match_table2() {
+        assert_eq!(OsCosts::for_os(Os::Linux).trap_cy, 231);
+        assert_eq!(OsCosts::for_os(Os::FreeBsd).trap_cy, 262);
+        assert_eq!(OsCosts::for_os(Os::Solaris).trap_cy, 352);
+    }
+
+    #[test]
+    fn solaris_pipe_self_roundtrip_is_80us() {
+        // Section 5: one byte out and back through a Solaris pipe takes
+        // 80 us. That is one write plus one read (no context switch).
+        let c = OsCosts::for_os(Os::Solaris);
+        let cy = 2 * c.trap_cy + 2 * c.syscall_overhead_cy + c.pipe.write_op_cy + c.pipe.read_op_cy;
+        let us = cy as f64 / 100.0;
+        assert!(
+            (us - 80.0).abs() < 15.0,
+            "Solaris pipe roundtrip ~80us, got {us}"
+        );
+    }
+
+    #[test]
+    fn ordering_of_trap_costs() {
+        let [l, f, s] = Os::benchmarked().map(|o| OsCosts::for_os(o).trap_cy);
+        assert!(l < f && f < s, "Linux < FreeBSD < Solaris on system calls");
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(Os::Linux.label(), "Linux");
+        assert_eq!(Os::Solaris.label(), "Solaris 2.4");
+    }
+}

@@ -1,0 +1,60 @@
+//! UNIX error numbers used across the modelled kernels.
+
+/// The subset of errno values the benchmarks can encounter.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Errno {
+    /// Bad file descriptor.
+    EBADF,
+    /// Broken pipe (no readers left).
+    EPIPE,
+    /// No such file or directory.
+    ENOENT,
+    /// File exists.
+    EEXIST,
+    /// Not a directory.
+    ENOTDIR,
+    /// Is a directory.
+    EISDIR,
+    /// Directory not empty.
+    ENOTEMPTY,
+    /// No space left on device.
+    ENOSPC,
+    /// Invalid argument.
+    EINVAL,
+    /// Operation not supported on this object.
+    ENOSYS,
+    /// Connection refused.
+    ECONNREFUSED,
+    /// Address already in use.
+    EADDRINUSE,
+    /// Not connected.
+    ENOTCONN,
+    /// Message too long for the protocol.
+    EMSGSIZE,
+    /// Resource temporarily unavailable.
+    EAGAIN,
+    /// I/O error.
+    EIO,
+}
+
+impl std::fmt::Display for Errno {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{self:?}")
+    }
+}
+
+impl std::error::Error for Errno {}
+
+/// Shorthand result type for syscall-level operations.
+pub type SysResult<T> = Result<T, Errno>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_matches_name() {
+        assert_eq!(Errno::ENOENT.to_string(), "ENOENT");
+        assert_eq!(Errno::EPIPE.to_string(), "EPIPE");
+    }
+}

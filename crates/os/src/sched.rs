@@ -1,0 +1,359 @@
+//! The three modelled schedulers, plus a cluster policy for multi-machine
+//! simulations (NFS client + server).
+//!
+//! These reproduce Figure 1 of the paper:
+//!
+//! - **Linux 1.2**: `schedule()` recomputes goodness over the task table,
+//!   so each dispatch costs `base + per_task * live_tasks` — the linear
+//!   growth of the Linux curve;
+//! - **FreeBSD 2.0.5**: fixed-priority run queues found through a bitmap,
+//!   constant cost — the flat curve;
+//! - **Solaris 2.4**: an expensive fully-preemptive MT dispatcher plus a
+//!   32-entry dispatch-structure modelled as an LRU table. A ring of more
+//!   than 32 processes misses on every switch (the sharp jump the paper
+//!   observed); the LIFO chain pattern re-touches recently run processes
+//!   and only degrades gradually past 32, steepening beyond 64 — matching
+//!   the authors' Solaris-LIFO experiment.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use tnt_sim::{Cycles, DispatchEnv, Pick, RunPolicy, Tid};
+
+/// Linux 1.2's O(number-of-tasks) scheduler.
+pub struct LinuxSched {
+    queue: VecDeque<Tid>,
+    base_cy: u64,
+    per_task_cy: u64,
+    tasks: Arc<AtomicUsize>,
+}
+
+impl LinuxSched {
+    /// `tasks` is the owning kernel's live-process counter.
+    pub fn new(base_cy: u64, per_task_cy: u64, tasks: Arc<AtomicUsize>) -> LinuxSched {
+        LinuxSched {
+            queue: VecDeque::new(),
+            base_cy,
+            per_task_cy,
+            tasks,
+        }
+    }
+}
+
+impl RunPolicy for LinuxSched {
+    fn enqueue(&mut self, tid: Tid, _tag: u32) {
+        self.queue.push_back(tid);
+    }
+
+    fn pick(&mut self, _env: &mut DispatchEnv<'_>) -> Option<Pick> {
+        let tid = self.queue.pop_front()?;
+        let ntasks = self.tasks.load(Ordering::Relaxed) as u64;
+        Some(Pick {
+            tid,
+            cost: Cycles(self.base_cy + self.per_task_cy * ntasks),
+        })
+    }
+
+    fn forget(&mut self, tid: Tid) {
+        self.queue.retain(|t| *t != tid);
+    }
+
+    fn runnable(&self) -> usize {
+        self.queue.len()
+    }
+}
+
+/// FreeBSD's constant-time run-queue scheduler.
+pub struct FreeBsdSched {
+    queue: VecDeque<Tid>,
+    base_cy: u64,
+}
+
+impl FreeBsdSched {
+    /// Builds the scheduler with its fixed dispatch cost.
+    pub fn new(base_cy: u64) -> FreeBsdSched {
+        FreeBsdSched {
+            queue: VecDeque::new(),
+            base_cy,
+        }
+    }
+}
+
+impl RunPolicy for FreeBsdSched {
+    fn enqueue(&mut self, tid: Tid, _tag: u32) {
+        self.queue.push_back(tid);
+    }
+
+    fn pick(&mut self, _env: &mut DispatchEnv<'_>) -> Option<Pick> {
+        self.queue.pop_front().map(|tid| Pick {
+            tid,
+            cost: Cycles(self.base_cy),
+        })
+    }
+
+    fn forget(&mut self, tid: Tid) {
+        self.queue.retain(|t| *t != tid);
+    }
+
+    fn runnable(&self) -> usize {
+        self.queue.len()
+    }
+}
+
+/// Solaris 2.4's dispatcher with the 32-entry table anomaly.
+pub struct SolarisSched {
+    queue: VecDeque<Tid>,
+    base_cy: u64,
+    /// LRU of recently dispatched threads; front = least recent.
+    table: VecDeque<Tid>,
+    slots: usize,
+    miss_cy: u64,
+    misses: u64,
+    hits: u64,
+}
+
+impl SolarisSched {
+    /// `slots` is the dispatch-table size (32 on x86 per the paper's
+    /// observation); `miss_cy` the extra cost of a table miss.
+    pub fn new(base_cy: u64, slots: usize, miss_cy: u64) -> SolarisSched {
+        SolarisSched {
+            queue: VecDeque::new(),
+            base_cy,
+            table: VecDeque::new(),
+            slots,
+            miss_cy,
+            misses: 0,
+            hits: 0,
+        }
+    }
+
+    /// (hits, misses) of the dispatch table, for tests.
+    pub fn table_stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+
+    fn table_access(&mut self, tid: Tid) -> bool {
+        if self.slots == 0 {
+            return true;
+        }
+        if let Some(pos) = self.table.iter().position(|t| *t == tid) {
+            self.table.remove(pos);
+            self.table.push_back(tid);
+            self.hits += 1;
+            true
+        } else {
+            if self.table.len() == self.slots {
+                self.table.pop_front();
+            }
+            self.table.push_back(tid);
+            self.misses += 1;
+            false
+        }
+    }
+}
+
+impl RunPolicy for SolarisSched {
+    fn enqueue(&mut self, tid: Tid, _tag: u32) {
+        self.queue.push_back(tid);
+    }
+
+    fn pick(&mut self, _env: &mut DispatchEnv<'_>) -> Option<Pick> {
+        let tid = self.queue.pop_front()?;
+        let mut cost = self.base_cy;
+        if !self.table_access(tid) {
+            cost += self.miss_cy;
+        }
+        Some(Pick {
+            tid,
+            cost: Cycles(cost),
+        })
+    }
+
+    fn forget(&mut self, tid: Tid) {
+        self.queue.retain(|t| *t != tid);
+        self.table.retain(|t| *t != tid);
+    }
+
+    fn runnable(&self) -> usize {
+        self.queue.len()
+    }
+}
+
+/// Routes processes to per-machine schedulers by their spawn tag; used
+/// when one simulation hosts several machines (NFS client and server).
+///
+/// The engine has a single baton (one host CPU), so CPU time on different
+/// machines serialises. That is exact for synchronous RPC interactions —
+/// the client is blocked while the server computes — and a small
+/// pessimism for background daemons.
+pub struct ClusterPolicy {
+    machines: Vec<Box<dyn RunPolicy>>,
+    cursor: usize,
+}
+
+impl ClusterPolicy {
+    /// Builds a cluster from one policy per machine; spawn tag = index.
+    pub fn new(machines: Vec<Box<dyn RunPolicy>>) -> ClusterPolicy {
+        assert!(!machines.is_empty(), "cluster needs at least one machine");
+        ClusterPolicy {
+            machines,
+            cursor: 0,
+        }
+    }
+}
+
+impl RunPolicy for ClusterPolicy {
+    fn enqueue(&mut self, tid: Tid, tag: u32) {
+        let m = tag as usize;
+        assert!(m < self.machines.len(), "spawn tag {tag} has no machine");
+        self.machines[m].enqueue(tid, tag);
+    }
+
+    fn pick(&mut self, env: &mut DispatchEnv<'_>) -> Option<Pick> {
+        let n = self.machines.len();
+        for i in 0..n {
+            let m = (self.cursor + i) % n;
+            if let Some(pick) = self.machines[m].pick(env) {
+                self.cursor = (m + 1) % n;
+                return Some(pick);
+            }
+        }
+        None
+    }
+
+    fn forget(&mut self, tid: Tid) {
+        for m in &mut self.machines {
+            m.forget(tid);
+        }
+    }
+
+    fn runnable(&self) -> usize {
+        self.machines.iter().map(|m| m.runnable()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn env(rng: &mut StdRng) -> DispatchEnv<'_> {
+        DispatchEnv {
+            nlive: 0,
+            now: Cycles::ZERO,
+            rng,
+        }
+    }
+
+    #[test]
+    fn linux_cost_scales_with_tasks() {
+        let tasks = Arc::new(AtomicUsize::new(2));
+        let mut s = LinuxSched::new(3_500, 140, tasks.clone());
+        let mut rng = StdRng::seed_from_u64(0);
+        s.enqueue(Tid(1), 0);
+        let c2 = s.pick(&mut env(&mut rng)).unwrap().cost;
+        tasks.store(50, Ordering::Relaxed);
+        s.enqueue(Tid(1), 0);
+        let c50 = s.pick(&mut env(&mut rng)).unwrap().cost;
+        assert_eq!(c2, Cycles(3_500 + 280));
+        assert_eq!(c50, Cycles(3_500 + 7_000));
+        assert_eq!((c50 - c2).0, 140 * 48, "exactly linear in task count");
+    }
+
+    #[test]
+    fn freebsd_cost_is_flat() {
+        let mut s = FreeBsdSched::new(6_100);
+        let mut rng = StdRng::seed_from_u64(0);
+        for i in 0..100 {
+            s.enqueue(Tid(i), 0);
+        }
+        let costs: Vec<_> = (0..100)
+            .map(|_| s.pick(&mut env(&mut rng)).unwrap().cost)
+            .collect();
+        assert!(costs.iter().all(|c| *c == Cycles(6_100)));
+    }
+
+    #[test]
+    fn solaris_ring_hits_below_32_misses_above() {
+        let mut rng = StdRng::seed_from_u64(0);
+        // Ring of 16: after warmup, every dispatch hits the table.
+        let mut s = SolarisSched::new(13_600, 32, 8_000);
+        for round in 0..10 {
+            for i in 0..16u32 {
+                s.enqueue(Tid(i), 0);
+                let p = s.pick(&mut env(&mut rng)).unwrap();
+                if round > 0 {
+                    assert_eq!(p.cost, Cycles(13_600), "warm ring of 16 must hit");
+                }
+            }
+        }
+        // Ring of 40: LRU of 32 thrashes; every dispatch misses.
+        let mut s = SolarisSched::new(13_600, 32, 8_000);
+        for _ in 0..5 {
+            for i in 0..40u32 {
+                s.enqueue(Tid(i), 0);
+                s.pick(&mut env(&mut rng)).unwrap();
+            }
+        }
+        let (hits, misses) = s.table_stats();
+        assert_eq!(
+            hits, 0,
+            "ring > 32 never hits ({hits} hits, {misses} misses)"
+        );
+    }
+
+    #[test]
+    fn solaris_lifo_pattern_degrades_gradually() {
+        // The LIFO chain visits 0..N then N..0; the turnaround region
+        // stays in the 32-entry LRU, so some accesses still hit for
+        // 32 < N < 64 while the ring pattern misses on every access.
+        let mut rng = StdRng::seed_from_u64(0);
+        let n = 48u32;
+        let mut s = SolarisSched::new(13_600, 32, 8_000);
+        for _ in 0..10 {
+            for i in (0..n).chain((0..n).rev()) {
+                s.enqueue(Tid(i), 0);
+                s.pick(&mut env(&mut rng)).unwrap();
+            }
+        }
+        let (hits, misses) = s.table_stats();
+        let hit_rate = hits as f64 / (hits + misses) as f64;
+        assert!(
+            hit_rate > 0.2,
+            "LIFO at 48 procs keeps hitting some ({hit_rate})"
+        );
+        assert!(hit_rate < 0.9, "but misses grow ({hit_rate})");
+    }
+
+    #[test]
+    fn cluster_routes_by_tag() {
+        let mut cluster = ClusterPolicy::new(vec![
+            Box::new(FreeBsdSched::new(100)),
+            Box::new(FreeBsdSched::new(999)),
+        ]);
+        let mut rng = StdRng::seed_from_u64(0);
+        cluster.enqueue(Tid(1), 0);
+        cluster.enqueue(Tid(2), 1);
+        assert_eq!(cluster.runnable(), 2);
+        let picks: Vec<_> = (0..2)
+            .map(|_| cluster.pick(&mut env(&mut rng)).unwrap())
+            .collect();
+        let mut costs: Vec<u64> = picks.iter().map(|p| p.cost.0).collect();
+        costs.sort_unstable();
+        assert_eq!(costs, vec![100, 999], "each machine charges its own cost");
+        assert!(cluster.pick(&mut env(&mut rng)).is_none());
+    }
+
+    #[test]
+    fn cluster_forget_reaches_all_machines() {
+        let mut cluster = ClusterPolicy::new(vec![
+            Box::new(FreeBsdSched::new(1)),
+            Box::new(FreeBsdSched::new(2)),
+        ]);
+        cluster.enqueue(Tid(5), 1);
+        cluster.forget(Tid(5));
+        assert_eq!(cluster.runnable(), 0);
+    }
+}

@@ -1,0 +1,1169 @@
+//! The deterministic baton-passing process engine.
+//!
+//! Simulated processes are real OS threads, but exactly one of them runs at
+//! any moment: a thread gives up the baton only by calling one of the
+//! blocking primitives (`yield_now`, `sleep_until`, `wait_on`, exit), at
+//! which point the engine picks the next runnable process through the
+//! configured [`RunPolicy`] and hands the baton over. Between two blocking
+//! calls a process executes atomically with respect to all other simulated
+//! processes, exactly like a non-preemptive uniprocessor kernel.
+//!
+//! Simulated time only advances through explicit [`Sim::advance`] charges
+//! and through the timer queue, so the same seed always produces the same
+//! clock readings: the simulation is fully deterministic.
+//!
+//! Locking discipline: engine state lives behind a single `parking_lot`
+//! mutex that is never held across a baton handoff. Kernel models built on
+//! top (tnt-os and friends) must follow the same rule for their own locks:
+//! never hold a guard across a call that can block.
+
+use std::cell::Cell;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use parking_lot::{Condvar, Mutex};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::policy::{DispatchEnv, Pick, RunPolicy, Tid};
+use crate::time::Cycles;
+
+/// Identifier of a wait queue (sleep/wakeup channel).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct WaitId(u64);
+
+/// Why a simulation failed.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SimError {
+    /// No process is runnable, no timer is pending, but live processes
+    /// remain. The string lists the blocked processes and their reasons.
+    Deadlock(String),
+    /// A simulated process panicked; the string holds the panic message.
+    ProcPanic(String),
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::Deadlock(s) => write!(f, "simulation deadlock: {s}"),
+            SimError::ProcPanic(s) => write!(f, "simulated process panicked: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// Configuration for a simulation instance.
+#[derive(Clone, Debug)]
+pub struct SimConfig {
+    /// Seed for the per-run RNG; vary it across the paper's twenty runs.
+    pub seed: u64,
+    /// Multiplicative jitter applied by [`Sim::charge`]: each charge is
+    /// scaled by a uniform factor in `[1 - jitter, 1 + jitter]`. Models
+    /// interrupt and cache noise so repeated runs have a non-zero standard
+    /// deviation, as in the paper. Zero disables jitter.
+    pub jitter: f64,
+}
+
+impl Default for SimConfig {
+    fn default() -> SimConfig {
+        SimConfig {
+            seed: 0,
+            jitter: 0.0,
+        }
+    }
+}
+
+/// Sent to a parked thread to resume or destroy it.
+#[derive(Clone, Copy, PartialEq, Debug)]
+enum Wake {
+    Run,
+    Kill,
+}
+
+/// Unwind payload used to destroy a simulated process; never observed by
+/// user code.
+struct SimKilled;
+
+struct Parker {
+    slot: Mutex<Option<Wake>>,
+    cv: Condvar,
+}
+
+impl Parker {
+    fn new() -> Arc<Parker> {
+        Arc::new(Parker {
+            slot: Mutex::new(None),
+            cv: Condvar::new(),
+        })
+    }
+
+    fn park(&self) -> Wake {
+        let mut slot = self.slot.lock();
+        loop {
+            if let Some(w) = slot.take() {
+                return w;
+            }
+            self.cv.wait(&mut slot);
+        }
+    }
+
+    fn unpark(&self, wake: Wake) {
+        let mut slot = self.slot.lock();
+        // A Kill must not be overwritten by a late Run, and vice versa a
+        // Kill overrides a pending Run.
+        if *slot != Some(Wake::Kill) {
+            *slot = Some(wake);
+        }
+        self.cv.notify_one();
+    }
+}
+
+#[derive(Clone, Copy, PartialEq, Debug)]
+enum Status {
+    /// In the run queue (or about to be picked for the first time).
+    Runnable,
+    /// Holding the baton.
+    Running,
+    /// Waiting on a timer or wait queue; the str names the reason.
+    Blocked(&'static str),
+    /// Finished.
+    Exited,
+}
+
+struct Proc {
+    name: String,
+    parker: Arc<Parker>,
+    status: Status,
+    tag: u32,
+    /// CPU cycles charged while this process held the baton.
+    cpu: Cycles,
+    /// Incremented on every block; timed wakeups only fire on the
+    /// generation they were armed for, so a stale timeout can never wake
+    /// a later, unrelated block.
+    block_gen: u64,
+    /// Set when the wake came from a timed wait's timeout.
+    timed_out: bool,
+    /// The queue whose wakeup released the last block, for `wait_on_any`.
+    woken_by: Option<u64>,
+}
+
+#[derive(PartialEq, Eq, PartialOrd, Ord)]
+/// What a timer does when it fires (all are wakeups of some kind).
+enum TimerAction {
+    Proc(Tid),
+    /// Wake `tid` only if it is still in block generation `gen` (a timed
+    /// wait's timeout); also removes it from queue `q`.
+    ProcGen(Tid, u64, u64),
+    QueueOne(u64),
+    QueueAll(u64),
+}
+
+struct State {
+    now: Cycles,
+    timer_seq: u64,
+    timers: BinaryHeap<Reverse<(Cycles, u64, TimerAction)>>,
+    procs: HashMap<Tid, Proc>,
+    policy: Box<dyn RunPolicy>,
+    current: Option<Tid>,
+    live: usize,
+    queues: HashMap<u64, VecDeque<Tid>>,
+    rng: StdRng,
+    run_factor: f64,
+    next_tid: u32,
+    next_wait: u64,
+    dispatches: u64,
+    finished: bool,
+    error: Option<SimError>,
+    shutting_down: bool,
+}
+
+struct Inner {
+    state: Mutex<State>,
+    done: Condvar,
+    threads: Mutex<Vec<JoinHandle<()>>>,
+}
+
+thread_local! {
+    static CURRENT: Cell<Option<Tid>> = const { Cell::new(None) };
+}
+
+/// Installs (once per program) a panic hook that silences the internal
+/// kill-unwind while delegating every real panic to the previous hook.
+fn install_quiet_kill_hook() {
+    use std::sync::Once;
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| {
+        let prev = panic::take_hook();
+        panic::set_hook(Box::new(move |info| {
+            if info.payload().is::<SimKilled>() {
+                return;
+            }
+            prev(info);
+        }));
+    });
+}
+
+/// A handle to a simulation. Cheap to clone; all clones refer to the same
+/// engine instance.
+#[derive(Clone)]
+pub struct Sim {
+    inner: Arc<Inner>,
+}
+
+impl Sim {
+    /// Creates a simulation with the given run-queue policy and config.
+    pub fn new(policy: Box<dyn RunPolicy>, config: SimConfig) -> Sim {
+        install_quiet_kill_hook();
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        // One multiplicative factor per run: repeated runs with different
+        // seeds then have a standard deviation of roughly `jitter`, the
+        // way the paper's twenty runs do.
+        let run_factor = if config.jitter == 0.0 {
+            1.0
+        } else {
+            let j = config.jitter * 3f64.sqrt(); // uniform [-sqrt(3)j, +sqrt(3)j] has sd j
+            1.0 + rng.gen_range(-j..=j)
+        };
+        let state = State {
+            now: Cycles::ZERO,
+            timer_seq: 0,
+            timers: BinaryHeap::new(),
+            procs: HashMap::new(),
+            policy,
+            current: None,
+            live: 0,
+            queues: HashMap::new(),
+            rng,
+            run_factor,
+            next_tid: 1,
+            next_wait: 1,
+            dispatches: 0,
+            finished: false,
+            error: None,
+            shutting_down: false,
+        };
+        Sim {
+            inner: Arc::new(Inner {
+                state: Mutex::new(state),
+                done: Condvar::new(),
+                threads: Mutex::new(Vec::new()),
+            }),
+        }
+    }
+
+    /// Spawns a simulated process. It becomes runnable immediately but only
+    /// executes once the engine dispatches it.
+    pub fn spawn<F>(&self, name: impl Into<String>, f: F) -> Tid
+    where
+        F: FnOnce(&Sim) + Send + 'static,
+    {
+        self.spawn_tagged(name, 0, f)
+    }
+
+    /// Like [`Sim::spawn`] with an opaque `tag` that is passed to the
+    /// [`RunPolicy`] on every enqueue of this process (used to route
+    /// processes to per-machine schedulers).
+    pub fn spawn_tagged<F>(&self, name: impl Into<String>, tag: u32, f: F) -> Tid
+    where
+        F: FnOnce(&Sim) + Send + 'static,
+    {
+        let name = name.into();
+        let parker = Parker::new();
+        let tid = {
+            let mut st = self.inner.state.lock();
+            assert!(!st.finished, "spawn after simulation finished");
+            let tid = Tid(st.next_tid);
+            st.next_tid += 1;
+            st.procs.insert(
+                tid,
+                Proc {
+                    name: name.clone(),
+                    parker: parker.clone(),
+                    status: Status::Runnable,
+                    tag,
+                    cpu: Cycles::ZERO,
+                    block_gen: 0,
+                    timed_out: false,
+                    woken_by: None,
+                },
+            );
+            st.live += 1;
+            st.policy.enqueue(tid, tag);
+            tid
+        };
+        let sim = self.clone();
+        let thread_parker = parker;
+        let handle = std::thread::Builder::new()
+            .name(format!("sim-{name}"))
+            .stack_size(512 * 1024)
+            .spawn(move || {
+                if thread_parker.park() == Wake::Kill {
+                    return;
+                }
+                CURRENT.with(|c| c.set(Some(tid)));
+                let result = panic::catch_unwind(AssertUnwindSafe(|| f(&sim)));
+                match result {
+                    Ok(()) => sim.on_exit(tid),
+                    Err(payload) if payload.is::<SimKilled>() => {}
+                    Err(payload) => sim.on_panic(tid, panic_message(&*payload)),
+                }
+            })
+            .expect("failed to spawn simulated process thread");
+        self.inner.threads.lock().push(handle);
+        tid
+    }
+
+    /// Runs the simulation until every process has exited, a process calls
+    /// [`Sim::stop`], a deadlock is detected, or a process panics.
+    ///
+    /// Returns the final simulated time on success. Must be called from the
+    /// host (non-simulated) thread that built the simulation.
+    pub fn run(&self) -> Result<Cycles, SimError> {
+        assert!(
+            CURRENT.with(|c| c.get()).is_none(),
+            "Sim::run called from a simulated process"
+        );
+        let (final_now, error) = {
+            let mut st = self.inner.state.lock();
+            if !st.finished {
+                if st.current.is_none() {
+                    self.dispatch_locked(&mut st);
+                }
+                while !st.finished {
+                    self.inner.done.wait(&mut st);
+                }
+            }
+            (st.now, st.error.clone())
+        };
+        self.shutdown();
+        match error {
+            None => Ok(final_now),
+            Some(e) => Err(e),
+        }
+    }
+
+    /// Terminates the simulation from inside a simulated process, unwinding
+    /// the caller. Remaining processes are destroyed. Never returns.
+    pub fn stop(&self) -> ! {
+        let tid = current_tid();
+        {
+            let mut st = self.inner.state.lock();
+            let proc = st.procs.get_mut(&tid).expect("current proc missing");
+            proc.status = Status::Exited;
+            st.live -= 1;
+            st.current = None;
+            st.finished = true;
+            self.inner.done.notify_all();
+        }
+        panic::panic_any(SimKilled);
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> Cycles {
+        self.inner.state.lock().now
+    }
+
+    /// Number of live (not exited) simulated processes.
+    pub fn live(&self) -> usize {
+        self.inner.state.lock().live
+    }
+
+    /// Advances simulated time by exactly `c` cycles of CPU work, firing
+    /// any timers that come due along the way. Does not yield the baton.
+    pub fn advance(&self, c: Cycles) {
+        let mut st = self.inner.state.lock();
+        // Attribute the CPU burn to the running process, if any (host
+        // code may also advance the clock during setup).
+        if let Some(cur) = st.current {
+            if let Some(proc) = st.procs.get_mut(&cur) {
+                proc.cpu += c;
+            }
+        }
+        let target = st.now + c;
+        loop {
+            let due = matches!(st.timers.peek(), Some(Reverse((at, _, _))) if *at <= target);
+            if !due {
+                break;
+            }
+            let Reverse((at, _, action)) = st.timers.pop().expect("peeked timer vanished");
+            if at > st.now {
+                st.now = at;
+            }
+            self.fire_locked(&mut st, action);
+        }
+        if target > st.now {
+            st.now = target;
+        }
+    }
+
+    /// Like [`Sim::advance`], but scales the charge by the configured
+    /// jitter factor. Use for modelled CPU costs so that repeated runs with
+    /// different seeds exhibit a realistic standard deviation.
+    pub fn charge(&self, c: Cycles) {
+        let scaled = {
+            let st = self.inner.state.lock();
+            if st.run_factor == 1.0 {
+                c
+            } else {
+                c.scale(st.run_factor)
+            }
+        };
+        self.advance(scaled);
+    }
+
+    /// Draws from the simulation's deterministic RNG.
+    pub fn with_rng<T>(&self, f: impl FnOnce(&mut StdRng) -> T) -> T {
+        f(&mut self.inner.state.lock().rng)
+    }
+
+    /// Yields the baton: the caller re-enters the run queue and another
+    /// runnable process (possibly the caller again) is dispatched.
+    pub fn yield_now(&self) {
+        let tid = current_tid();
+        let mut st = self.inner.state.lock();
+        let tag = st.procs[&tid].tag;
+        st.procs.get_mut(&tid).expect("current proc missing").status = Status::Runnable;
+        st.policy.enqueue(tid, tag);
+        self.block_current(st, tid);
+    }
+
+    /// Blocks the caller until the given simulated instant.
+    pub fn sleep_until(&self, at: Cycles) {
+        let tid = current_tid();
+        let mut st = self.inner.state.lock();
+        if at <= st.now {
+            return;
+        }
+        let seq = st.timer_seq;
+        st.timer_seq += 1;
+        st.timers.push(Reverse((at, seq, TimerAction::Proc(tid))));
+        st.procs.get_mut(&tid).expect("current proc missing").status = Status::Blocked("sleep");
+        self.block_current(st, tid);
+    }
+
+    /// Blocks the caller for the given simulated duration. Unlike
+    /// [`Sim::advance`] this does not consume CPU: it models waiting for a
+    /// device, not computing.
+    pub fn sleep(&self, dur: Cycles) {
+        let deadline = self.inner.state.lock().now + dur;
+        self.sleep_until(deadline);
+    }
+
+    /// Allocates a new wait queue.
+    pub fn new_queue(&self) -> WaitId {
+        let mut st = self.inner.state.lock();
+        let id = st.next_wait;
+        st.next_wait += 1;
+        st.queues.insert(id, VecDeque::new());
+        WaitId(id)
+    }
+
+    /// Blocks the caller on a wait queue until another process wakes it.
+    ///
+    /// `reason` appears in deadlock diagnostics. Because processes run
+    /// atomically between blocking calls, the classic lost-wakeup race
+    /// cannot occur: check your condition, then call `wait_on`.
+    pub fn wait_on(&self, q: WaitId, reason: &'static str) {
+        let tid = current_tid();
+        let mut st = self.inner.state.lock();
+        st.queues
+            .get_mut(&q.0)
+            .expect("wait queue does not exist")
+            .push_back(tid);
+        st.procs.get_mut(&tid).expect("current proc missing").status = Status::Blocked(reason);
+        self.block_current(st, tid);
+    }
+
+    /// Like [`Sim::wait_on`] but gives up after `timeout`: returns `true`
+    /// if woken by [`Sim::wakeup_one`]/[`Sim::wakeup_all`], `false` on
+    /// timeout (in which case the caller is no longer on the queue).
+    pub fn wait_on_timeout(&self, q: WaitId, timeout: Cycles, reason: &'static str) -> bool {
+        let tid = current_tid();
+        let mut st = self.inner.state.lock();
+        st.queues
+            .get_mut(&q.0)
+            .expect("wait queue does not exist")
+            .push_back(tid);
+        let proc = st.procs.get_mut(&tid).expect("current proc missing");
+        proc.status = Status::Blocked(reason);
+        // The generation this block will run under (block_current bumps).
+        let gen = proc.block_gen + 1;
+        let at = st.now + timeout;
+        let seq = st.timer_seq;
+        st.timer_seq += 1;
+        st.timers
+            .push(Reverse((at, seq, TimerAction::ProcGen(tid, gen, q.0))));
+        self.block_current(st, tid);
+        // Back awake: the timer handler flags timeouts (and has already
+        // removed us from the queue); a real wakeup popped us normally.
+        let mut st = self.inner.state.lock();
+        let proc = st.procs.get_mut(&tid).expect("current proc missing");
+        let timed_out = std::mem::take(&mut proc.timed_out);
+        !timed_out
+    }
+
+    /// Blocks on *several* queues at once (the `select(2)` primitive):
+    /// returns the index of the queue whose wakeup fired, or `None` on
+    /// timeout. Entries left on the other queues are skipped lazily by
+    /// later wakeups.
+    pub fn wait_on_any(
+        &self,
+        qs: &[WaitId],
+        timeout: Option<Cycles>,
+        reason: &'static str,
+    ) -> Option<usize> {
+        assert!(!qs.is_empty(), "wait_on_any needs at least one queue");
+        let tid = current_tid();
+        let mut st = self.inner.state.lock();
+        for q in qs {
+            st.queues
+                .get_mut(&q.0)
+                .expect("wait queue does not exist")
+                .push_back(tid);
+        }
+        let proc = st.procs.get_mut(&tid).expect("current proc missing");
+        proc.status = Status::Blocked(reason);
+        if let Some(t) = timeout {
+            let gen = proc.block_gen + 1;
+            let at = st.now + t;
+            let seq = st.timer_seq;
+            st.timer_seq += 1;
+            // The timer removes us from the *first* queue; the lazy skip
+            // handles the rest.
+            st.timers
+                .push(Reverse((at, seq, TimerAction::ProcGen(tid, gen, qs[0].0))));
+        }
+        self.block_current(st, tid);
+        // The waker (or the timeout handler) recorded how we were woken;
+        // clean our leftover entries off every queue.
+        let mut st = self.inner.state.lock();
+        let (timed_out, woken_q) = {
+            let proc = st.procs.get_mut(&tid).expect("current proc missing");
+            (
+                std::mem::take(&mut proc.timed_out),
+                std::mem::take(&mut proc.woken_by),
+            )
+        };
+        for q in qs {
+            if let Some(queue) = st.queues.get_mut(&q.0) {
+                queue.retain(|t| *t != tid);
+            }
+        }
+        if timed_out {
+            None
+        } else {
+            qs.iter().position(|q| Some(q.0) == woken_q)
+        }
+    }
+
+    /// Wakes the longest-waiting process on the queue, if any. Returns
+    /// whether a process was woken. Does not yield the baton.
+    pub fn wakeup_one(&self, q: WaitId) -> bool {
+        let mut st = self.inner.state.lock();
+        self.wake_from_queue_locked(&mut st, q.0)
+    }
+
+    /// Wakes every process on the queue. Returns how many were woken.
+    pub fn wakeup_all(&self, q: WaitId) -> usize {
+        let mut st = self.inner.state.lock();
+        let mut n = 0;
+        while self.wake_from_queue_locked(&mut st, q.0) {
+            n += 1;
+        }
+        n
+    }
+
+    /// Schedules a wakeup of one waiter on `q` at simulated time `at`.
+    pub fn wakeup_one_at(&self, q: WaitId, at: Cycles) {
+        let mut st = self.inner.state.lock();
+        let seq = st.timer_seq;
+        st.timer_seq += 1;
+        st.timers
+            .push(Reverse((at, seq, TimerAction::QueueOne(q.0))));
+    }
+
+    /// Schedules a wakeup of every waiter on `q` at simulated time `at`.
+    pub fn wakeup_all_at(&self, q: WaitId, at: Cycles) {
+        let mut st = self.inner.state.lock();
+        let seq = st.timer_seq;
+        st.timer_seq += 1;
+        st.timers
+            .push(Reverse((at, seq, TimerAction::QueueAll(q.0))));
+    }
+
+    /// Number of processes currently blocked on the queue.
+    pub fn waiters(&self, q: WaitId) -> usize {
+        self.inner
+            .state
+            .lock()
+            .queues
+            .get(&q.0)
+            .map_or(0, |d| d.len())
+    }
+
+    /// The tid of the calling simulated process.
+    ///
+    /// # Panics
+    ///
+    /// Panics when called from a thread that is not a simulated process.
+    pub fn current(&self) -> Tid {
+        current_tid()
+    }
+
+    /// Total CPU cycles charged while `tid` held the baton (its rusage).
+    /// Returns zero for unknown tids.
+    pub fn proc_cpu(&self, tid: Tid) -> Cycles {
+        self.inner
+            .state
+            .lock()
+            .procs
+            .get(&tid)
+            .map_or(Cycles::ZERO, |p| p.cpu)
+    }
+
+    /// Number of dispatches (context switches) the engine has performed —
+    /// the event counting the paper's Section 13 wishes for.
+    pub fn dispatch_count(&self) -> u64 {
+        self.inner.state.lock().dispatches
+    }
+
+    // ------------------------------------------------------------------
+    // Internals.
+    // ------------------------------------------------------------------
+
+    /// Marks the caller blocked (status must already be set), dispatches
+    /// the next process, releases the lock, and parks until woken.
+    fn block_current(&self, mut st: parking_lot::MutexGuard<'_, State>, tid: Tid) {
+        st.procs
+            .get_mut(&tid)
+            .expect("current proc missing")
+            .block_gen += 1;
+        let parker = st.procs[&tid].parker.clone();
+        st.current = None;
+        self.dispatch_locked(&mut st);
+        drop(st);
+        match parker.park() {
+            Wake::Run => {}
+            Wake::Kill => panic::panic_any(SimKilled),
+        }
+    }
+
+    /// Picks and unparks the next runnable process, advancing the clock
+    /// through the timer queue while the system is idle. Detects
+    /// termination and deadlock.
+    fn dispatch_locked(&self, st: &mut State) {
+        loop {
+            if st.finished {
+                return;
+            }
+            let pick = {
+                let State {
+                    policy,
+                    rng,
+                    live,
+                    now,
+                    ..
+                } = st;
+                let mut env = DispatchEnv {
+                    nlive: *live,
+                    now: *now,
+                    rng,
+                };
+                policy.pick(&mut env)
+            };
+            if let Some(Pick { tid, cost }) = pick {
+                st.dispatches += 1;
+                st.now += cost;
+                let proc = st.procs.get_mut(&tid).expect("picked proc missing");
+                debug_assert_eq!(proc.status, Status::Runnable, "picked a non-runnable proc");
+                proc.status = Status::Running;
+                st.current = Some(tid);
+                proc.parker.unpark(Wake::Run);
+                return;
+            }
+            if let Some(Reverse((at, _, action))) = st.timers.pop() {
+                if at > st.now {
+                    st.now = at;
+                }
+                self.fire_locked(st, action);
+                continue;
+            }
+            st.finished = true;
+            if st.live > 0 {
+                let blocked: Vec<String> = st
+                    .procs
+                    .values()
+                    .filter_map(|p| match p.status {
+                        Status::Blocked(r) => Some(format!("{} ({r})", p.name)),
+                        _ => None,
+                    })
+                    .collect();
+                st.error = Some(SimError::Deadlock(format!(
+                    "{} live processes, none runnable: [{}]",
+                    st.live,
+                    blocked.join(", ")
+                )));
+            }
+            self.inner.done.notify_all();
+            return;
+        }
+    }
+
+    fn fire_locked(&self, st: &mut State, action: TimerAction) {
+        match action {
+            TimerAction::Proc(tid) => {
+                if let Some(proc) = st.procs.get_mut(&tid) {
+                    if matches!(proc.status, Status::Blocked(_)) {
+                        proc.status = Status::Runnable;
+                        let tag = proc.tag;
+                        st.policy.enqueue(tid, tag);
+                    }
+                }
+            }
+            TimerAction::ProcGen(tid, gen, q) => {
+                let stale = match st.procs.get(&tid) {
+                    Some(p) => p.block_gen != gen || !matches!(p.status, Status::Blocked(_)),
+                    None => true,
+                };
+                if !stale {
+                    if let Some(queue) = st.queues.get_mut(&q) {
+                        queue.retain(|t| *t != tid);
+                    }
+                    let proc = st.procs.get_mut(&tid).expect("checked above");
+                    proc.status = Status::Runnable;
+                    proc.timed_out = true;
+                    let tag = proc.tag;
+                    st.policy.enqueue(tid, tag);
+                }
+            }
+            TimerAction::QueueOne(q) => {
+                self.wake_from_queue_locked(st, q);
+            }
+            TimerAction::QueueAll(q) => while self.wake_from_queue_locked(st, q) {},
+        }
+    }
+
+    fn wake_from_queue_locked(&self, st: &mut State, q: u64) -> bool {
+        loop {
+            let tid = match st.queues.get_mut(&q).and_then(|d| d.pop_front()) {
+                Some(t) => t,
+                None => return false,
+            };
+            let proc = st.procs.get_mut(&tid).expect("queued proc missing");
+            // Skip stale entries: a proc that waited on several queues
+            // (`wait_on_any`) was already woken through another of them.
+            if !matches!(proc.status, Status::Blocked(_)) {
+                continue;
+            }
+            proc.status = Status::Runnable;
+            proc.woken_by = Some(q);
+            let tag = proc.tag;
+            st.policy.enqueue(tid, tag);
+            return true;
+        }
+    }
+
+    fn on_exit(&self, tid: Tid) {
+        let mut st = self.inner.state.lock();
+        let proc = st.procs.get_mut(&tid).expect("exiting proc missing");
+        proc.status = Status::Exited;
+        st.live -= 1;
+        st.current = None;
+        st.policy.forget(tid);
+        self.dispatch_locked(&mut st);
+    }
+
+    fn on_panic(&self, _tid: Tid, msg: String) {
+        let mut st = self.inner.state.lock();
+        if st.error.is_none() {
+            st.error = Some(SimError::ProcPanic(msg));
+        }
+        st.finished = true;
+        self.inner.done.notify_all();
+    }
+
+    /// Destroys any remaining processes and joins all threads.
+    fn shutdown(&self) {
+        {
+            let mut st = self.inner.state.lock();
+            st.shutting_down = true;
+            for proc in st.procs.values() {
+                if proc.status != Status::Exited {
+                    proc.parker.unpark(Wake::Kill);
+                }
+            }
+        }
+        let threads = std::mem::take(&mut *self.inner.threads.lock());
+        for handle in threads {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn current_tid() -> Tid {
+    CURRENT
+        .with(|c| c.get())
+        .expect("this operation must be called from a simulated process")
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::FifoPolicy;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn fifo_sim(seed: u64) -> Sim {
+        Sim::new(Box::new(FifoPolicy::new()), SimConfig { seed, jitter: 0.0 })
+    }
+
+    #[test]
+    fn empty_simulation_finishes_at_zero() {
+        let sim = fifo_sim(0);
+        assert_eq!(sim.run().unwrap(), Cycles::ZERO);
+    }
+
+    #[test]
+    fn single_process_advances_clock() {
+        let sim = fifo_sim(0);
+        sim.spawn("worker", |s| {
+            s.advance(Cycles(100));
+            s.advance(Cycles(23));
+        });
+        assert_eq!(sim.run().unwrap(), Cycles(123));
+    }
+
+    #[test]
+    fn sleep_jumps_idle_clock() {
+        let sim = fifo_sim(0);
+        sim.spawn("sleeper", |s| {
+            s.sleep(Cycles::from_millis(14.0));
+            s.advance(Cycles(5));
+        });
+        assert_eq!(sim.run().unwrap(), Cycles(1_400_005));
+    }
+
+    #[test]
+    fn two_processes_serialize_cpu() {
+        let sim = fifo_sim(0);
+        for name in ["a", "b"] {
+            sim.spawn(name, |s| {
+                for _ in 0..10 {
+                    s.advance(Cycles(10));
+                    s.yield_now();
+                }
+            });
+        }
+        // CPU time serialises: 2 procs x 10 iterations x 10 cycles.
+        assert_eq!(sim.run().unwrap(), Cycles(200));
+    }
+
+    #[test]
+    fn sleeping_overlaps_with_computing() {
+        // One proc sleeps (device wait) while the other computes; the total
+        // is max, not sum.
+        let sim = fifo_sim(0);
+        sim.spawn("sleeper", |s| s.sleep(Cycles(1_000)));
+        sim.spawn("cruncher", |s| s.advance(Cycles(400)));
+        assert_eq!(sim.run().unwrap(), Cycles(1_000));
+    }
+
+    #[test]
+    fn wait_and_wakeup_round_trip() {
+        let sim = fifo_sim(0);
+        let q = sim.new_queue();
+        let order = Arc::new(Mutex::new(Vec::new()));
+        let o1 = order.clone();
+        sim.spawn("waiter", move |s| {
+            o1.lock().push("waiting");
+            s.wait_on(q, "test");
+            o1.lock().push("woken");
+        });
+        let o2 = order.clone();
+        sim.spawn("waker", move |s| {
+            s.advance(Cycles(50));
+            o2.lock().push("waking");
+            assert!(s.wakeup_one(q));
+        });
+        sim.run().unwrap();
+        assert_eq!(*order.lock(), vec!["waiting", "waking", "woken"]);
+    }
+
+    #[test]
+    fn wakeup_one_is_fifo() {
+        let sim = fifo_sim(0);
+        let q = sim.new_queue();
+        let order = Arc::new(Mutex::new(Vec::new()));
+        for i in 0..3 {
+            let o = order.clone();
+            sim.spawn(format!("w{i}"), move |s| {
+                s.wait_on(q, "fifo");
+                o.lock().push(i);
+            });
+        }
+        sim.spawn("waker", move |s| {
+            for _ in 0..3 {
+                s.wakeup_one(q);
+                s.yield_now();
+            }
+        });
+        sim.run().unwrap();
+        assert_eq!(*order.lock(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn deadlock_is_detected() {
+        let sim = fifo_sim(0);
+        let q = sim.new_queue();
+        sim.spawn("stuck", move |s| s.wait_on(q, "never-woken"));
+        let err = sim.run().unwrap_err();
+        match err {
+            SimError::Deadlock(msg) => {
+                assert!(msg.contains("stuck") && msg.contains("never-woken"))
+            }
+            other => panic!("expected deadlock, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn proc_panic_is_reported() {
+        let sim = fifo_sim(0);
+        sim.spawn("bad", |_| panic!("boom: {}", 42));
+        match sim.run().unwrap_err() {
+            SimError::ProcPanic(msg) => assert!(msg.contains("boom: 42")),
+            other => panic!("expected panic error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn stop_kills_remaining_processes() {
+        let sim = fifo_sim(0);
+        let q = sim.new_queue();
+        sim.spawn("forever", move |s| s.wait_on(q, "held"));
+        sim.spawn("main", |s| {
+            s.advance(Cycles(10));
+            s.stop();
+        });
+        assert_eq!(sim.run().unwrap(), Cycles(10));
+    }
+
+    #[test]
+    fn timers_fire_during_advance() {
+        let sim = fifo_sim(0);
+        let q = sim.new_queue();
+        let hits = Arc::new(AtomicU64::new(0));
+        let h = hits.clone();
+        sim.spawn("waiter", move |s| {
+            s.wait_on(q, "timer");
+            h.store(s.now().0, Ordering::SeqCst);
+        });
+        sim.spawn("busy", move |s| {
+            s.wakeup_one_at(q, Cycles(100));
+            s.advance(Cycles(500)); // The timer fires inside this charge.
+        });
+        sim.run().unwrap();
+        // The waiter was made runnable at t=100 and ran after busy's charge.
+        assert_eq!(hits.load(Ordering::SeqCst), 500);
+    }
+
+    #[test]
+    fn determinism_same_seed_same_clock() {
+        let run = |seed| {
+            let sim = Sim::new(
+                Box::new(FifoPolicy::new()),
+                SimConfig { seed, jitter: 0.02 },
+            );
+            for i in 0..4 {
+                sim.spawn(format!("p{i}"), |s| {
+                    for _ in 0..100 {
+                        s.charge(Cycles(37));
+                        s.yield_now();
+                    }
+                });
+            }
+            sim.run().unwrap()
+        };
+        let a = run(7);
+        let b = run(7);
+        let c = run(8);
+        assert_eq!(a, b, "same seed must give identical simulated time");
+        assert_ne!(a, c, "different seed should perturb jittered charges");
+    }
+
+    #[test]
+    fn jitter_zero_is_exact() {
+        let sim = fifo_sim(3);
+        sim.spawn("p", |s| s.charge(Cycles(1_000)));
+        assert_eq!(sim.run().unwrap(), Cycles(1_000));
+    }
+
+    #[test]
+    fn spawn_from_inside_process() {
+        let sim = fifo_sim(0);
+        sim.spawn("parent", |s| {
+            let before = s.now();
+            s.spawn("child", |s2| s2.advance(Cycles(77)));
+            s.advance(Cycles(3));
+            assert_eq!(s.now(), before + Cycles(3));
+        });
+        assert_eq!(sim.run().unwrap(), Cycles(80));
+    }
+
+    #[test]
+    fn per_process_cpu_accounting() {
+        let sim = fifo_sim(0);
+        let busy = sim.spawn("busy", |s| {
+            s.advance(Cycles(700));
+            s.sleep(Cycles(10_000)); // Waiting is not CPU.
+        });
+        let lazy = sim.spawn("lazy", |s| s.advance(Cycles(42)));
+        sim.run().unwrap();
+        assert_eq!(sim.proc_cpu(busy), Cycles(700));
+        assert_eq!(sim.proc_cpu(lazy), Cycles(42));
+        assert_eq!(sim.proc_cpu(crate::Tid(999)), Cycles::ZERO);
+    }
+
+    #[test]
+    fn wait_on_timeout_times_out() {
+        let sim = fifo_sim(0);
+        let q = sim.new_queue();
+        sim.spawn("timed", move |s| {
+            let t0 = s.now();
+            let woken = s.wait_on_timeout(q, Cycles(5_000), "timed wait");
+            assert!(!woken, "nobody woke us");
+            assert_eq!(
+                s.now() - t0,
+                Cycles(5_000),
+                "resumed exactly at the deadline"
+            );
+            assert_eq!(s.waiters(q), 0, "timeout removed us from the queue");
+        });
+        sim.run().unwrap();
+    }
+
+    #[test]
+    fn wait_on_timeout_real_wakeup_wins() {
+        let sim = fifo_sim(0);
+        let q = sim.new_queue();
+        sim.spawn("timed", move |s| {
+            let woken = s.wait_on_timeout(q, Cycles(1_000_000), "timed wait");
+            assert!(woken, "the waker got there first");
+            assert!(s.now() < Cycles(1_000_000));
+        });
+        sim.spawn("waker", move |s| {
+            s.advance(Cycles(100));
+            s.wakeup_one(q);
+        });
+        sim.run().unwrap();
+    }
+
+    #[test]
+    fn stale_timeout_never_wakes_a_later_block() {
+        // A proc times out, then blocks again past the old deadline; the
+        // expired timer for the first block must not disturb the second.
+        let sim = fifo_sim(0);
+        let q = sim.new_queue();
+        let q2 = sim.new_queue();
+        sim.spawn("timed", move |s| {
+            assert!(!s.wait_on_timeout(q, Cycles(100), "first"));
+            // Second, longer timed wait on another queue.
+            let woken = s.wait_on_timeout(q2, Cycles(10_000), "second");
+            assert!(!woken);
+            assert_eq!(s.now(), Cycles(10_100), "full second timeout elapsed");
+        });
+        sim.run().unwrap();
+    }
+
+    #[test]
+    fn wait_on_any_reports_the_waking_queue() {
+        let sim = fifo_sim(0);
+        let a = sim.new_queue();
+        let b = sim.new_queue();
+        sim.spawn("selector", move |s| {
+            let which = s.wait_on_any(&[a, b], None, "select");
+            assert_eq!(which, Some(1), "queue b fired");
+            assert_eq!(s.waiters(a), 0, "stale entry cleaned up");
+        });
+        sim.spawn("waker", move |s| {
+            s.advance(Cycles(10));
+            s.wakeup_one(b);
+        });
+        sim.run().unwrap();
+    }
+
+    #[test]
+    fn wait_on_any_times_out() {
+        let sim = fifo_sim(0);
+        let a = sim.new_queue();
+        let b = sim.new_queue();
+        sim.spawn("selector", move |s| {
+            let which = s.wait_on_any(&[a, b], Some(Cycles(2_000)), "select");
+            assert_eq!(which, None);
+            assert_eq!(s.now(), Cycles(2_000));
+            assert_eq!(s.waiters(a) + s.waiters(b), 0);
+        });
+        sim.run().unwrap();
+    }
+
+    #[test]
+    fn stale_select_entries_do_not_steal_wakeups() {
+        // A selector woken via queue B leaves a stale entry on A; a later
+        // wakeup_one(A) must reach the genuine waiter behind it.
+        let sim = fifo_sim(0);
+        let a = sim.new_queue();
+        let b = sim.new_queue();
+        let reached = Arc::new(AtomicU64::new(0));
+        let r2 = reached.clone();
+        sim.spawn("selector", move |s| {
+            assert_eq!(s.wait_on_any(&[a, b], None, "select"), Some(1));
+            // Keep running long enough that the stale entry on A is
+            // still there when the waiter blocks.
+            s.advance(Cycles(50));
+        });
+        sim.spawn("waiter", move |s| {
+            s.wait_on(a, "genuine");
+            r2.store(1, Ordering::SeqCst);
+        });
+        sim.spawn("waker", move |s| {
+            s.advance(Cycles(10));
+            s.wakeup_one(b); // Wake the selector.
+            s.advance(Cycles(10));
+            s.wakeup_one(a); // Must reach the genuine waiter.
+        });
+        sim.run().unwrap();
+        assert_eq!(reached.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn wakeup_all_wakes_everyone() {
+        let sim = fifo_sim(0);
+        let q = sim.new_queue();
+        let count = Arc::new(AtomicU64::new(0));
+        for i in 0..5 {
+            let c = count.clone();
+            sim.spawn(format!("w{i}"), move |s| {
+                s.wait_on(q, "broadcast");
+                c.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        sim.spawn("waker", move |s| {
+            s.yield_now(); // Let the waiters enqueue first (FIFO policy).
+            assert_eq!(s.wakeup_all(q), 5);
+        });
+        sim.run().unwrap();
+        assert_eq!(count.load(Ordering::SeqCst), 5);
+    }
+}

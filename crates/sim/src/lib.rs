@@ -1,0 +1,41 @@
+#![warn(missing_docs)]
+
+//! Deterministic process-oriented discrete-event simulation core.
+//!
+//! This crate is the foundation of the `tnt` reproduction of *"A
+//! Performance Comparison of UNIX Operating Systems on the Pentium"*
+//! (Lai & Baker, USENIX 1996). It provides:
+//!
+//! - [`Cycles`]: simulated time in clock cycles of the modelled 100 MHz
+//!   Pentium, with conversions to the paper's reporting units;
+//! - [`Sim`]: a deterministic baton-passing engine in which simulated
+//!   processes are real threads, exactly one of which runs at a time;
+//! - [`RunPolicy`]: the pluggable run-queue policy through which the three
+//!   modelled kernels express their scheduler designs;
+//! - [`Summary`], [`Series`] and normalisation helpers matching the
+//!   paper's tables (mean, percentage standard deviation, "Norm." column).
+//!
+//! # Examples
+//!
+//! ```
+//! use tnt_sim::{Cycles, Sim, SimConfig, FifoPolicy};
+//!
+//! let sim = Sim::new(Box::new(FifoPolicy::new()), SimConfig::default());
+//! sim.spawn("worker", |s| {
+//!     s.advance(Cycles::from_micros(2.31)); // one getpid() on Linux
+//! });
+//! let elapsed = sim.run().unwrap();
+//! assert_eq!(elapsed, Cycles(231));
+//! ```
+
+mod engine;
+mod lock;
+mod policy;
+mod stats;
+mod time;
+
+pub use engine::{Sim, SimConfig, SimError, WaitId};
+pub use lock::SimMutex;
+pub use policy::{DispatchEnv, FifoPolicy, Pick, RunPolicy, Tid};
+pub use stats::{normalize_higher_better, normalize_lower_better, Series, Summary};
+pub use time::{mb_per_sec, mbit_per_sec, Cycles, CPU_HZ, MEGABIT, MEGABYTE};

@@ -1,0 +1,132 @@
+//! Pluggable run-queue policy: which runnable process runs next and what
+//! the dispatch costs.
+//!
+//! Each modelled operating system supplies its own [`RunPolicy`]; the
+//! differences between them (Linux's O(n) task-table scan, FreeBSD's
+//! constant-time queues, Solaris's dispatcher overhead) are what produce
+//! Figure 1 of the paper.
+
+use rand::rngs::StdRng;
+
+use crate::time::Cycles;
+
+/// Identifier of a simulated process within one simulation.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Tid(pub u32);
+
+/// Context handed to the policy when it must pick the next process.
+pub struct DispatchEnv<'a> {
+    /// Number of live (not yet exited) processes in the system, including
+    /// blocked ones. Linux 1.2's scheduler cost scales with this.
+    pub nlive: usize,
+    /// Current simulated time.
+    pub now: Cycles,
+    /// Deterministic per-run RNG for modelled scheduling jitter.
+    pub rng: &'a mut StdRng,
+}
+
+/// The policy's choice: who runs next, and the CPU cost of deciding.
+#[derive(Clone, Copy, Debug)]
+pub struct Pick {
+    /// The process to run.
+    pub tid: Tid,
+    /// Scheduler overhead charged to the simulated clock for this dispatch
+    /// (run-queue search, dispatcher locks, register reload, ...).
+    pub cost: Cycles,
+}
+
+/// A run-queue policy. Implementations must be deterministic given the
+/// same sequence of calls and the same RNG stream.
+pub trait RunPolicy: Send {
+    /// Adds a process to the runnable set.
+    ///
+    /// Called when a process is spawned, woken, or yields. A tid is never
+    /// enqueued twice without an intervening `pick` or `forget` of it.
+    /// `tag` is the opaque label given at spawn time (the tnt kernels use
+    /// it to route processes to the right machine's scheduler).
+    fn enqueue(&mut self, tid: Tid, tag: u32);
+
+    /// Removes and returns the next process to run, or `None` if the
+    /// runnable set is empty.
+    fn pick(&mut self, env: &mut DispatchEnv<'_>) -> Option<Pick>;
+
+    /// Removes a process from the runnable set if present (process killed).
+    fn forget(&mut self, tid: Tid);
+
+    /// Number of runnable processes.
+    fn runnable(&self) -> usize;
+}
+
+/// A trivial FIFO policy with zero dispatch cost; used by unit tests and
+/// by pure device simulations that do not model scheduler overhead.
+#[derive(Default)]
+pub struct FifoPolicy {
+    queue: std::collections::VecDeque<Tid>,
+}
+
+impl FifoPolicy {
+    /// Creates an empty FIFO policy.
+    pub fn new() -> FifoPolicy {
+        FifoPolicy::default()
+    }
+}
+
+impl RunPolicy for FifoPolicy {
+    fn enqueue(&mut self, tid: Tid, _tag: u32) {
+        debug_assert!(!self.queue.contains(&tid), "tid {tid:?} enqueued twice");
+        self.queue.push_back(tid);
+    }
+
+    fn pick(&mut self, _env: &mut DispatchEnv<'_>) -> Option<Pick> {
+        self.queue.pop_front().map(|tid| Pick {
+            tid,
+            cost: Cycles::ZERO,
+        })
+    }
+
+    fn forget(&mut self, tid: Tid) {
+        self.queue.retain(|t| *t != tid);
+    }
+
+    fn runnable(&self) -> usize {
+        self.queue.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn fifo_order_and_forget() {
+        let mut p = FifoPolicy::new();
+        let mut rng = StdRng::seed_from_u64(0);
+        p.enqueue(Tid(1), 0);
+        p.enqueue(Tid(2), 0);
+        p.enqueue(Tid(3), 0);
+        assert_eq!(p.runnable(), 3);
+        p.forget(Tid(2));
+        let mut env = DispatchEnv {
+            nlive: 3,
+            now: Cycles::ZERO,
+            rng: &mut rng,
+        };
+        assert_eq!(p.pick(&mut env).unwrap().tid, Tid(1));
+        assert_eq!(p.pick(&mut env).unwrap().tid, Tid(3));
+        assert!(p.pick(&mut env).is_none());
+    }
+
+    #[test]
+    fn fifo_zero_cost() {
+        let mut p = FifoPolicy::new();
+        let mut rng = StdRng::seed_from_u64(0);
+        p.enqueue(Tid(7), 0);
+        let mut env = DispatchEnv {
+            nlive: 1,
+            now: Cycles(5),
+            rng: &mut rng,
+        };
+        assert_eq!(p.pick(&mut env).unwrap().cost, Cycles::ZERO);
+    }
+}

@@ -1,0 +1,178 @@
+//! Statistics helpers matching the paper's reporting methodology.
+//!
+//! Every benchmark in the paper is run twenty times and reported as a mean
+//! with a percentage standard deviation, plus a "Norm." column that shows
+//! each system's speed normalised to the best system (higher is better).
+
+/// Mean and standard deviation of a set of benchmark runs.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Summary {
+    /// Arithmetic mean of the samples.
+    pub mean: f64,
+    /// Sample standard deviation (n-1 denominator), 0.0 for n < 2.
+    pub sd: f64,
+    /// Number of samples.
+    pub n: usize,
+}
+
+impl Summary {
+    /// Summarises a slice of samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples` is empty; every experiment produces at least one
+    /// run.
+    pub fn of(samples: &[f64]) -> Summary {
+        assert!(!samples.is_empty(), "cannot summarise zero samples");
+        let n = samples.len();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let sd = if n < 2 {
+            0.0
+        } else {
+            let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (n - 1) as f64;
+            var.sqrt()
+        };
+        Summary { mean, sd, n }
+    }
+
+    /// Standard deviation as a percentage of the mean, the paper's
+    /// "Std Dev" column. Returns 0.0 when the mean is zero.
+    pub fn sd_pct(&self) -> f64 {
+        if self.mean == 0.0 {
+            0.0
+        } else {
+            100.0 * self.sd / self.mean.abs()
+        }
+    }
+}
+
+/// Normalises lower-is-better values (times) to the paper's "Norm." column.
+///
+/// The best (smallest) value maps to 1.00 and every other value `v` maps to
+/// `best / v`, so higher normalised numbers are better.
+pub fn normalize_lower_better(values: &[f64]) -> Vec<f64> {
+    let best = values.iter().cloned().fold(f64::INFINITY, f64::min);
+    values
+        .iter()
+        .map(|v| if *v == 0.0 { 1.0 } else { best / v })
+        .collect()
+}
+
+/// Normalises higher-is-better values (bandwidths) to the "Norm." column.
+///
+/// The best (largest) value maps to 1.00 and every other value `v` maps to
+/// `v / best`.
+pub fn normalize_higher_better(values: &[f64]) -> Vec<f64> {
+    let best = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    values
+        .iter()
+        .map(|v| if best == 0.0 { 1.0 } else { v / best })
+        .collect()
+}
+
+/// One curve of a figure: a labelled sequence of (x, y) points.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Series {
+    /// Legend label, e.g. `"Linux"` or `"Solaris-LIFO"`.
+    pub label: String,
+    /// Data points in ascending x order.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// Creates an empty series with the given label.
+    pub fn new(label: impl Into<String>) -> Series {
+        Series {
+            label: label.into(),
+            points: Vec::new(),
+        }
+    }
+
+    /// Appends a point; x values are expected to be non-decreasing.
+    pub fn push(&mut self, x: f64, y: f64) {
+        self.points.push((x, y));
+    }
+
+    /// The y value at the given x, if that exact x was recorded.
+    pub fn y_at(&self, x: f64) -> Option<f64> {
+        self.points
+            .iter()
+            .find(|(px, _)| *px == x)
+            .map(|(_, py)| *py)
+    }
+
+    /// Maximum y value of the series; `None` if empty.
+    pub fn y_max(&self) -> Option<f64> {
+        self.points
+            .iter()
+            .map(|(_, y)| *y)
+            .fold(None, |m, y| Some(m.map_or(y, |m: f64| m.max(y))))
+    }
+
+    /// Minimum y value of the series; `None` if empty.
+    pub fn y_min(&self) -> Option<f64> {
+        self.points
+            .iter()
+            .map(|(_, y)| *y)
+            .fold(None, |m, y| Some(m.map_or(y, |m: f64| m.min(y))))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_mean_and_sd() {
+        let s = Summary::of(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert!((s.mean - 5.0).abs() < 1e-12);
+        // Sample sd of this classic data set is ~2.138.
+        assert!((s.sd - 2.1380899).abs() < 1e-6);
+        assert!((s.sd_pct() - 42.7617987).abs() < 1e-5);
+    }
+
+    #[test]
+    fn summary_single_sample() {
+        let s = Summary::of(&[3.5]);
+        assert_eq!(s.mean, 3.5);
+        assert_eq!(s.sd, 0.0);
+        assert_eq!(s.sd_pct(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero samples")]
+    fn summary_empty_panics() {
+        let _ = Summary::of(&[]);
+    }
+
+    #[test]
+    fn normalization_matches_paper_table2() {
+        // Table 2 of the paper: 2.31, 2.62, 3.52 us -> 1.00, 0.88, 0.66.
+        let norm = normalize_lower_better(&[2.31, 2.62, 3.52]);
+        assert!((norm[0] - 1.00).abs() < 0.005);
+        assert!((norm[1] - 0.88).abs() < 0.005);
+        assert!((norm[2] - 0.66).abs() < 0.005);
+    }
+
+    #[test]
+    fn normalization_higher_better() {
+        // Table 4 of the paper: 119.36, 98.03, 65.38 -> 1.00, 0.82, 0.55.
+        let norm = normalize_higher_better(&[119.36, 98.03, 65.38]);
+        assert!((norm[0] - 1.00).abs() < 0.005);
+        assert!((norm[1] - 0.82).abs() < 0.005);
+        assert!((norm[2] - 0.55).abs() < 0.005);
+    }
+
+    #[test]
+    fn series_accessors() {
+        let mut s = Series::new("Linux");
+        s.push(2.0, 55.0);
+        s.push(4.0, 57.0);
+        s.push(8.0, 61.0);
+        assert_eq!(s.y_at(4.0), Some(57.0));
+        assert_eq!(s.y_at(5.0), None);
+        assert_eq!(s.y_max(), Some(61.0));
+        assert_eq!(s.y_min(), Some(55.0));
+        assert_eq!(Series::new("e").y_max(), None);
+    }
+}

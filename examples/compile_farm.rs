@@ -1,0 +1,53 @@
+//! The software-engineering workload the paper's group actually cared
+//! about: which free UNIX should a research lab compile on?
+//!
+//! Runs the Modified Andrew Benchmark locally on each system and over
+//! NFS against both server types, then prints a recommendation table —
+//! the Section 12 conclusion, regenerated.
+//!
+//! ```text
+//! cargo run --release --example compile_farm
+//! ```
+
+use tnt_core::{mab_local, mab_over_nfs};
+use tnt_os::Os;
+
+fn main() {
+    println!("== compile farm: the Modified Andrew Benchmark everywhere ==\n");
+
+    println!("local disk (Table 3):");
+    println!(
+        "  {:<12} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8}",
+        "OS", "mkdir", "copy", "stat", "read", "compile", "TOTAL"
+    );
+    for os in Os::benchmarked() {
+        let r = mab_local(os, 1);
+        println!(
+            "  {:<12} {:>7.2}s {:>7.2}s {:>7.2}s {:>7.2}s {:>7.2}s {:>7.2}s",
+            os.label(),
+            r.phase_s[0],
+            r.phase_s[1],
+            r.phase_s[2],
+            r.phase_s[3],
+            r.phase_s[4],
+            r.total_s
+        );
+    }
+
+    for (server, label) in [
+        (Os::Linux, "Linux 1.2.8 (async writes)"),
+        (Os::SunOs, "SunOS 4.1.4 (sync writes)"),
+    ] {
+        println!("\nover NFS, server = {label}:");
+        for client in Os::benchmarked() {
+            let r = mab_over_nfs(client, server, 1);
+            println!("  {:<12} client: {:>7.2}s total", client.label(), r.total_s);
+        }
+    }
+
+    println!("\nconclusions (as in Section 12):");
+    println!("  - Linux wins locally: async metadata absorbs the compiler's churn;");
+    println!("  - FreeBSD wins remotely: its network stack carries NFS best;");
+    println!("  - the Linux client collapses against a spec-compliant (sync) NFS");
+    println!("    server: its 1 KB write RPCs each pay a disk commit.");
+}

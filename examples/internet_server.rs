@@ -1,0 +1,159 @@
+//! The paper's Internet-server motivation: "context switch time ... is
+//! increasingly important for Internet servers that must sometimes
+//! service hundreds of simultaneous connections."
+//!
+//! This example builds the same toy server two ways on each OS:
+//!
+//! 1. **process-per-connection** — N workers, each blocked on its own
+//!    pipe, so the scheduler cycles through many processes: the regime
+//!    where Figure 1's scheduler differences decide throughput;
+//! 2. **event-driven** — one process multiplexing every connection with
+//!    `select(2)`, dodging most context switches.
+//!
+//! ```text
+//! cargo run --release --example internet_server
+//! ```
+
+use tnt_os::{boot, Os};
+use tnt_sim::Cycles;
+
+/// Requests each client issues.
+const REQUESTS: u64 = 50;
+
+/// Simulated CPU per request in the worker (parse + respond).
+const SERVICE_CY: u64 = 20_000; // 200 µs
+
+fn serve(os: Os, nclients: usize) -> f64 {
+    let (sim, kernel) = boot(os, 1);
+    kernel.spawn_user("acceptor", move |p| {
+        let mut children = Vec::new();
+        // One worker pair of pipes per connection (request, reply).
+        for i in 0..nclients {
+            let (req_rd, req_wr) = p.pipe();
+            let (rep_rd, rep_wr) = p.pipe();
+            // The connection's worker.
+            children.push(p.fork(format!("worker{i}"), move |w| {
+                for _ in 0..REQUESTS {
+                    if w.read(req_rd, 128).unwrap() == 0 {
+                        break;
+                    }
+                    w.compute(Cycles(SERVICE_CY));
+                    w.write(rep_wr, 256).unwrap();
+                }
+            }));
+            // The client driving it.
+            children.push(p.fork(format!("client{i}"), move |c| {
+                for _ in 0..REQUESTS {
+                    c.write(req_wr, 128).unwrap();
+                    c.read(rep_rd, 256).unwrap();
+                }
+                c.close(req_wr).unwrap();
+            }));
+        }
+        for child in children {
+            p.waitpid(child);
+        }
+    });
+    let elapsed = sim.run().unwrap().as_secs();
+    (nclients as u64 * REQUESTS) as f64 / elapsed
+}
+
+/// The event-driven variant: one server process selects over every
+/// connection's request pipe.
+fn serve_select(os: Os, nclients: usize) -> f64 {
+    let (sim, kernel) = boot(os, 1);
+    kernel.spawn_user("acceptor", move |p| {
+        let mut req_rds = Vec::new();
+        let mut rep_wrs = Vec::new();
+        let mut client_ends = Vec::new();
+        let mut children = Vec::new();
+        for i in 0..nclients {
+            let (req_rd, req_wr) = p.pipe();
+            let (rep_rd, rep_wr) = p.pipe();
+            req_rds.push(req_rd);
+            rep_wrs.push(rep_wr);
+            client_ends.push((req_wr, rep_rd));
+            children.push(p.fork(format!("client{i}"), move |c| {
+                for _ in 0..REQUESTS {
+                    c.write(req_wr, 128).unwrap();
+                    c.read(rep_rd, 256).unwrap();
+                }
+                c.close(req_wr).unwrap();
+            }));
+        }
+        // Drop the acceptor's copies of the client-side ends BEFORE
+        // forking the server, or the server would inherit write ends and
+        // never see EOF — the classic fd-leak server bug.
+        for (req_wr, rep_rd) in client_ends {
+            p.close(req_wr).unwrap();
+            p.close(rep_rd).unwrap();
+        }
+        // The single event loop.
+        children.push(p.fork("event-server", move |srv| {
+            let mut open = req_rds.len();
+            while open > 0 {
+                let ready = srv.select_read(&req_rds, None).unwrap();
+                for fd in ready {
+                    let idx = req_rds.iter().position(|r| *r == fd).unwrap();
+                    if srv.read(fd, 128).unwrap() == 0 {
+                        open -= 1;
+                        continue;
+                    }
+                    srv.compute(Cycles(SERVICE_CY));
+                    srv.write(rep_wrs[idx], 256).unwrap();
+                }
+            }
+        }));
+        for child in children {
+            p.waitpid(child);
+        }
+    });
+    let elapsed = sim.run().unwrap().as_secs();
+    (nclients as u64 * REQUESTS) as f64 / elapsed
+}
+
+fn main() {
+    println!("== toy Internet server: requests/second vs concurrent connections ==\n");
+    println!("process-per-connection:");
+    println!(
+        "  {:<12} {:>10} {:>10} {:>10}",
+        "OS", "8 conns", "32 conns", "64 conns"
+    );
+    for os in Os::benchmarked() {
+        let r8 = serve(os, 8);
+        let r32 = serve(os, 32);
+        let r64 = serve(os, 64);
+        println!(
+            "  {:<12} {:>9.0}/s {:>9.0}/s {:>9.0}/s",
+            os.label(),
+            r8,
+            r32,
+            r64
+        );
+    }
+    println!("\nevent-driven (one process + select):");
+    println!(
+        "  {:<12} {:>10} {:>10} {:>10}",
+        "OS", "8 conns", "32 conns", "64 conns"
+    );
+    for os in Os::benchmarked() {
+        let r8 = serve_select(os, 8);
+        let r32 = serve_select(os, 32);
+        let r64 = serve_select(os, 64);
+        println!(
+            "  {:<12} {:>9.0}/s {:>9.0}/s {:>9.0}/s",
+            os.label(),
+            r8,
+            r32,
+            r64
+        );
+    }
+    println!("\nwhat to look for (Figure 1's fingerprints):");
+    println!("  - Linux process-per-connection decays as connections grow: its");
+    println!("    scheduler rescans the whole task table on every switch;");
+    println!("  - FreeBSD barely moves: constant-time run queues;");
+    println!("  - Solaris pays its heavyweight dispatcher everywhere, and falls");
+    println!("    further once >32 runnable threads thrash its table;");
+    println!("  - the event-driven design softens all three curves by replacing");
+    println!("    most context switches with one select(2) loop.");
+}

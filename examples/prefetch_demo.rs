@@ -1,0 +1,55 @@
+//! Section 6's headline: the Pentium has no write-allocate cache, so the
+//! stock libc `memset`/`memcpy` never exceed ~50 MB/s — yet a one-load
+//! software prefetch unlocks 300+ MB/s. This demo sweeps the routines on
+//! the machine model and prints the side-by-side curves.
+//!
+//! ```text
+//! cargo run --release --example prefetch_demo
+//! ```
+
+use tnt_core::mem_bandwidth;
+use tnt_cpu::{LibcVariant, MemRoutine};
+
+const TOTAL: u64 = 4 * 1024 * 1024;
+
+fn main() {
+    println!("== the write-allocate story (Figures 2-8) ==\n");
+    let sizes: [u64; 6] = [1024, 4096, 8192, 65536, 262144, 1 << 21];
+    println!(
+        "  {:<12} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9}",
+        "routine", "1K", "4K", "8K", "64K", "256K", "2M"
+    );
+    let rows: [(&str, MemRoutine); 6] = [
+        ("read", MemRoutine::CustomRead),
+        ("memset", MemRoutine::LibcMemset(LibcVariant::Linux)),
+        ("write+pf", MemRoutine::CustomWritePrefetch),
+        ("memcpy", MemRoutine::LibcMemcpy(LibcVariant::Linux)),
+        ("copy", MemRoutine::CustomCopyNaive),
+        ("copy+pf", MemRoutine::CustomCopyPrefetch),
+    ];
+    for (label, routine) in rows {
+        print!("  {label:<12}");
+        for &buf in &sizes {
+            print!(" {:>8.1}", mem_bandwidth(routine, buf, TOTAL, 0));
+        }
+        println!(" MB/s");
+    }
+
+    println!("\nobservations reproduced from the paper:");
+    let read_l1 = mem_bandwidth(MemRoutine::CustomRead, 4096, TOTAL, 0);
+    let memset = mem_bandwidth(MemRoutine::LibcMemset(LibcVariant::Linux), 4096, TOTAL, 0);
+    let wpf = mem_bandwidth(MemRoutine::CustomWritePrefetch, 4096, TOTAL, 0);
+    let copy = mem_bandwidth(MemRoutine::CustomCopyNaive, 4096, TOTAL, 0);
+    let cpf = mem_bandwidth(MemRoutine::CustomCopyPrefetch, 4096, TOTAL, 0);
+    println!("  - L1 reads reach {read_l1:.0} MB/s, but memset manages only {memset:.0} MB/s:");
+    println!("    write misses do not allocate, so every store drains to DRAM;");
+    println!("  - touching one word of each line first (software prefetch)");
+    println!("    lifts writes to {wpf:.0} MB/s and copies from {copy:.0} to {cpf:.0} MB/s;");
+    println!("  - none of the three systems' 1995 libcs did this.");
+
+    // The Section 6.4 anomaly: ragged sizes dip.
+    let aligned = mem_bandwidth(MemRoutine::CustomRead, 512, TOTAL, 0);
+    let ragged = mem_bandwidth(MemRoutine::CustomRead, 527, TOTAL, 0);
+    println!("\nthe Section 6.4 dip: a 512-byte buffer reads at {aligned:.0} MB/s,");
+    println!("but 527 bytes (15 left to the byte loop) only {ragged:.0} MB/s.");
+}

@@ -1,0 +1,107 @@
+//! The large-file workload of Section 7: "video playback and editing
+//! and large databases ... need high raw bandwidth and fast seeking".
+//!
+//! A toy playback loop streams a large media file at a fixed frame rate
+//! on each system and reports dropped frames; a toy database mixes
+//! random reads and writes. Both are thin wrappers over the same syscall
+//! interface the paper's benchmarks use.
+//!
+//! ```text
+//! cargo run --release --example video_playback
+//! ```
+
+use tnt_core::{run_with_fs, timed};
+use tnt_os::{OpenFlags, Os};
+use tnt_sim::Cycles;
+
+/// 30 fps of ~64 KB frames = ~1.9 MB/s, a generous mid-90s video.
+const FRAME_BYTES: u64 = 64 * 1024;
+const FRAME_BUDGET_US: f64 = 1_000_000.0 / 30.0;
+const FRAMES: u64 = 600; // ~37 MB, beyond the 20 MB cache
+const DB_OPS: u32 = 150;
+
+fn playback(os: Os) -> (u64, f64) {
+    run_with_fs(os, 1, move |p| {
+        let fd = p.creat("/movie.raw").unwrap();
+        for _ in 0..FRAMES {
+            p.write(fd, FRAME_BYTES).unwrap();
+        }
+        p.close(fd).unwrap();
+        // Play it back: each frame must arrive within its budget.
+        let fd = p.open("/movie.raw", OpenFlags::rdonly()).unwrap();
+        let mut dropped = 0;
+        let t0 = p.sim().now();
+        for _ in 0..FRAMES {
+            let (_, took) = timed(p, || {
+                let mut left = FRAME_BYTES;
+                while left > 0 {
+                    let n = p.read(fd, left.min(8192)).unwrap();
+                    assert!(n > 0, "file ends early");
+                    left -= n;
+                }
+                p.compute(Cycles::from_micros(500.0)); // decode
+            });
+            if took.as_micros() > FRAME_BUDGET_US {
+                dropped += 1;
+            }
+        }
+        let elapsed = (p.sim().now() - t0).as_secs();
+        p.close(fd).unwrap();
+        let mb_s = (FRAMES * FRAME_BYTES) as f64 / (1024.0 * 1024.0) / elapsed;
+        (dropped, mb_s)
+    })
+}
+
+fn database(os: Os) -> f64 {
+    run_with_fs(os, 1, move |p| {
+        let fd = p.creat("/table.db").unwrap();
+        let pages = 3_000u64; // 24 MB of 8 KB pages
+        for _ in 0..pages {
+            p.write(fd, 8192).unwrap();
+        }
+        p.close(fd).unwrap();
+        let fd = p.open("/table.db", OpenFlags::rdwr()).unwrap();
+        // Random page read-modify-write, the bonnie seek pattern.
+        let offsets: Vec<u64> = (0..DB_OPS)
+            .map(|_| p.sim().with_rng(|r| rand_page(r, pages)) * 8192)
+            .collect();
+        let (_, d) = timed(p, || {
+            for off in offsets {
+                p.lseek(fd, off).unwrap();
+                p.read(fd, 8192).unwrap();
+                p.lseek(fd, off).unwrap();
+                p.write(fd, 8192).unwrap();
+            }
+        });
+        p.close(fd).unwrap();
+        DB_OPS as f64 / d.as_secs()
+    })
+}
+
+fn rand_page(rng: &mut rand::rngs::StdRng, pages: u64) -> u64 {
+    rand::Rng::gen_range(rng, 0..pages)
+}
+
+fn main() {
+    println!("== large-file workloads: video playback and a toy database ==\n");
+    println!(
+        "  {:<12} {:>14} {:>12} {:>14}",
+        "OS", "frames dropped", "stream MB/s", "db txn/s"
+    );
+    for os in Os::benchmarked() {
+        let (dropped, mb_s) = playback(os);
+        let txn = database(os);
+        println!(
+            "  {:<12} {:>8}/{:<5} {:>12.2} {:>14.0}",
+            os.label(),
+            dropped,
+            FRAMES,
+            mb_s,
+            txn
+        );
+    }
+    println!("\nthe Figure 9/11 story: Solaris's aggressive read-ahead streams");
+    println!("large files best, while Linux's 1 KB blocks and fragmented");
+    println!("allocator drop frames; random page updates converge towards the");
+    println!("disk's ~14 ms once the working set escapes the buffer cache.");
+}

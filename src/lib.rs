@@ -1,0 +1,15 @@
+#![warn(missing_docs)]
+
+//! Facade crate: re-exports the whole `tnt` reproduction.
+//!
+//! See `README.md` and `DESIGN.md` for the project overview; the
+//! experiment entry points live in [`tnt_core`].
+
+pub use tnt_core as core;
+pub use tnt_cpu as cpu;
+pub use tnt_fs as fs;
+pub use tnt_harness as harness;
+pub use tnt_net as net;
+pub use tnt_nfs as nfs;
+pub use tnt_os as os;
+pub use tnt_sim as sim;

@@ -1,0 +1,101 @@
+//! The simulation must be exactly reproducible: identical seeds give
+//! identical results across the whole stack, and different seeds give a
+//! small, non-zero spread (the paper's Std Dev columns).
+
+use tnt_core::{
+    crtdel_ms, ctx_us, mab_local, mab_over_nfs, pipe_bandwidth_mbit, syscall_us,
+    tcp_bandwidth_mbit, CtxPattern,
+};
+use tnt_os::Os;
+use tnt_sim::Summary;
+
+#[test]
+fn syscall_is_bit_identical_per_seed() {
+    for os in Os::benchmarked() {
+        let a = syscall_us(os, 3_000, 7);
+        let b = syscall_us(os, 3_000, 7);
+        assert_eq!(
+            a.to_bits(),
+            b.to_bits(),
+            "{os:?} differs between identical runs"
+        );
+    }
+}
+
+#[test]
+fn ctx_is_bit_identical_per_seed() {
+    let a = ctx_us(Os::Solaris, 40, 400, CtxPattern::Ring, 9);
+    let b = ctx_us(Os::Solaris, 40, 400, CtxPattern::Ring, 9);
+    assert_eq!(a.to_bits(), b.to_bits());
+}
+
+#[test]
+fn filesystem_benchmarks_are_bit_identical_per_seed() {
+    let a = crtdel_ms(Os::FreeBsd, 4096, 4, 11);
+    let b = crtdel_ms(Os::FreeBsd, 4096, 4, 11);
+    assert_eq!(a.to_bits(), b.to_bits());
+}
+
+#[test]
+fn mab_is_bit_identical_per_seed() {
+    let a = mab_local(Os::Linux, 5);
+    let b = mab_local(Os::Linux, 5);
+    assert_eq!(a.total_s.to_bits(), b.total_s.to_bits());
+    for i in 0..5 {
+        assert_eq!(a.phase_s[i].to_bits(), b.phase_s[i].to_bits(), "phase {i}");
+    }
+}
+
+#[test]
+fn nfs_is_bit_identical_per_seed() {
+    let a = mab_over_nfs(Os::FreeBsd, Os::SunOs, 2).total_s;
+    let b = mab_over_nfs(Os::FreeBsd, Os::SunOs, 2).total_s;
+    assert_eq!(a.to_bits(), b.to_bits());
+}
+
+#[test]
+fn network_benchmarks_are_bit_identical_per_seed() {
+    let a = tcp_bandwidth_mbit(Os::Linux, 256 * 1024, 48 * 1024, 13);
+    let b = tcp_bandwidth_mbit(Os::Linux, 256 * 1024, 48 * 1024, 13);
+    assert_eq!(a.to_bits(), b.to_bits());
+}
+
+#[test]
+fn seeds_produce_a_plausible_std_dev() {
+    // Across seeds, the per-run jitter must show up — but stay small, as
+    // the paper's single-user-mode Std Dev columns are (mostly < 5%).
+    let samples: Vec<f64> = (1..=10).map(|s| syscall_us(Os::Linux, 2_000, s)).collect();
+    let summary = Summary::of(&samples);
+    assert!(summary.sd > 0.0, "different seeds must differ");
+    assert!(
+        summary.sd_pct() < 5.0,
+        "jitter stays small: {:.2}%",
+        summary.sd_pct()
+    );
+}
+
+#[test]
+fn solaris_is_noisier_than_linux() {
+    // The paper's Std Dev columns consistently show Solaris with more
+    // run-to-run variance than the free systems.
+    let noise = |os| {
+        let samples: Vec<f64> = (1..=12).map(|s| syscall_us(os, 2_000, s)).collect();
+        Summary::of(&samples).sd_pct()
+    };
+    let linux = noise(Os::Linux);
+    let solaris = noise(Os::Solaris);
+    assert!(
+        solaris > linux,
+        "Solaris {solaris:.2}% vs Linux {linux:.2}%"
+    );
+}
+
+#[test]
+fn pipe_bandwidth_varies_mildly_across_seeds() {
+    let samples: Vec<f64> = (1..=6)
+        .map(|s| pipe_bandwidth_mbit(Os::FreeBsd, 1 << 20, 65_536, s))
+        .collect();
+    let summary = Summary::of(&samples);
+    assert!(summary.sd > 0.0);
+    assert!(summary.sd_pct() < 6.0);
+}

@@ -1,0 +1,68 @@
+//! Integration test of the harness: every experiment id produces a
+//! rendered table or figure and well-formed CSV series.
+
+use tnt_harness::{all_ids, run_many, run_one, Scale};
+
+#[test]
+fn every_experiment_renders_at_smoke_scale() {
+    let scale = Scale::smoke();
+    let ids = all_ids();
+    let outputs = run_many(&ids, &scale);
+    // Each id appears exactly once.
+    let mut seen: Vec<&str> = outputs.iter().map(|o| o.id).collect();
+    seen.sort_unstable();
+    let mut expected = ids.clone();
+    expected.sort_unstable();
+    assert_eq!(seen, expected);
+    for out in &outputs {
+        assert!(!out.text.trim().is_empty(), "{} rendered empty", out.id);
+        assert!(
+            out.text.contains("TABLE") || out.text.contains("FIGURE"),
+            "{} is labelled:\n{}",
+            out.id,
+            out.text
+        );
+    }
+}
+
+#[test]
+fn figure_csvs_are_rectangular() {
+    let scale = Scale::smoke();
+    for out in run_one("f12", &scale) {
+        assert_eq!(out.csv.len(), 1);
+        let csv = &out.csv[0].1;
+        let mut lines = csv.lines();
+        let header_cols = lines.next().unwrap().split(',').count();
+        assert!(header_cols >= 2);
+        for line in lines {
+            assert_eq!(line.split(',').count(), header_cols, "ragged CSV:\n{csv}");
+        }
+    }
+}
+
+#[test]
+fn tables_cite_paper_values() {
+    let scale = Scale::smoke();
+    let t2 = &run_one("t2", &scale)[0];
+    // The paper's numbers appear in the comparison column.
+    for v in ["2.31", "2.62", "3.52"] {
+        assert!(t2.text.contains(v), "paper value {v} missing:\n{}", t2.text);
+    }
+    let t5 = &run_one("t5", &scale)[0];
+    for v in ["65.95", "60.11", "25.03"] {
+        assert!(t5.text.contains(v), "paper value {v} missing:\n{}", t5.text);
+    }
+}
+
+#[test]
+fn figure_one_has_four_curves() {
+    let scale = Scale::smoke();
+    let f1 = &run_one("f1", &scale)[0];
+    for label in ["Linux", "FreeBSD", "Solaris", "Solaris-LIFO"] {
+        assert!(
+            f1.text.contains(label),
+            "curve {label} missing:\n{}",
+            f1.text
+        );
+    }
+}
