@@ -12,6 +12,7 @@
 //! the plateaus of Figures 2-8 (see `DESIGN.md`).
 
 use crate::memsys::MemSystem;
+use tnt_sim::trace::{session, Counter};
 
 /// Bytes handled per iteration of the paper's unrolled inner loop.
 pub const CHUNK: u64 = 16;
@@ -242,6 +243,7 @@ pub fn measure(mem: &mut MemSystem, routine: MemRoutine, buf: u64, total: u64) -
     assert!(buf > 0, "buffer must be non-empty");
     mem.flush();
     mem.reset_cycles();
+    let (l1_before, l2_before) = (mem.l1d().stats(), mem.l2().stats());
     let passes = total.div_ceil(buf).max(1);
     let (src, dst) = buffer_layout(buf);
     for _ in 0..passes {
@@ -249,6 +251,18 @@ pub fn measure(mem: &mut MemSystem, routine: MemRoutine, buf: u64, total: u64) -
     }
     let bytes = passes * buf;
     let cycles = mem.cycles();
+    // This crate has no Sim — the bandwidth loops run outside simulated
+    // time — so a profiling session sees them only through the counter
+    // bank: miss totals per level plus the cycles the memory system ate.
+    if session::active() {
+        let (l1, l2) = (mem.l1d().stats(), mem.l2().stats());
+        let misses = |after: crate::CacheStats, before: crate::CacheStats| {
+            (after.read_misses - before.read_misses) + (after.write_misses - before.write_misses)
+        };
+        session::add_counter(Counter::L1Misses, misses(l1, l1_before));
+        session::add_counter(Counter::L2Misses, misses(l2, l2_before));
+        session::add_counter(Counter::MemStallCycles, cycles);
+    }
     let secs = cycles as f64 / crate::CPU_HZ as f64;
     BandwidthPoint {
         buf_bytes: buf,

@@ -15,6 +15,7 @@ use parking_lot::Mutex;
 
 use crate::disk::{Disk, IoKind};
 use tnt_os::KEnv;
+use tnt_sim::trace::{Class, Counter};
 use tnt_sim::Cycles;
 
 /// Cache geometry and write-behind policy.
@@ -162,7 +163,10 @@ impl BufferCache {
     /// cache block size). On a miss, reads `1 + readahead` consecutive
     /// blocks from disk in one command. Returns whether it hit.
     pub fn read(&self, env: &KEnv, addr: u64, readahead: u64) -> bool {
-        env.sim.charge(Cycles(self.params.per_block_cpu_cy));
+        {
+            let _s = env.sim.span(Class::FsCpu);
+            env.sim.charge(Cycles(self.params.per_block_cpu_cy));
+        }
         let bs = self.bs_kb();
         debug_assert_eq!(addr % bs, 0, "unaligned cache read");
         let (hit, write_out) = {
@@ -181,6 +185,14 @@ impl BufferCache {
                 (false, victims)
             }
         };
+        env.sim.count(
+            if hit {
+                Counter::CacheHits
+            } else {
+                Counter::CacheMisses
+            },
+            1,
+        );
         if !hit {
             self.write_runs(env, &write_out);
             self.disk.io(env, IoKind::Read, addr, (1 + readahead) * bs);
@@ -195,7 +207,13 @@ impl BufferCache {
     /// the caller flushes down to half the mark, paying the disk time —
     /// this is where sequential-write benchmarks become disk bound.
     pub fn write(&self, env: &KEnv, addr: u64, sync: bool) {
-        env.sim.charge(Cycles(self.params.per_block_cpu_cy));
+        {
+            let _s = env.sim.span(Class::FsCpu);
+            env.sim.charge(Cycles(self.params.per_block_cpu_cy));
+        }
+        if sync {
+            env.sim.count(Counter::SyncMetaWrites, 1);
+        }
         let bs = self.bs_kb();
         debug_assert_eq!(addr % bs, 0, "unaligned cache write");
         let write_out = {

@@ -8,6 +8,7 @@
 use parking_lot::Mutex;
 
 use tnt_os::KEnv;
+use tnt_sim::trace::{Class, Counter};
 use tnt_sim::Cycles;
 
 /// Mechanical and transfer parameters of a drive.
@@ -123,11 +124,13 @@ impl Disk {
         Cycles::from_millis(ms)
     }
 
-    /// Pure service time of a request, without performing it.
-    pub fn service_time(&self, from: u64, addr: u64, blocks: u64) -> Cycles {
+    /// The three mechanical phases of a request — (command overhead +
+    /// seek, rotational delay, media transfer) — without performing it.
+    /// Their sum is exactly [`Disk::service_time`].
+    pub fn service_phases(&self, from: u64, addr: u64, blocks: u64) -> [Cycles; 3] {
         let p = &self.params;
         let dist = from.abs_diff(addr);
-        let seek = self.seek_time(dist);
+        let seek = Cycles::from_millis(p.overhead_ms) + self.seek_time(dist);
         // A sequential continuation skips the seek but the controller
         // still loses part of a revolution between commands; a random
         // access waits half a revolution on average.
@@ -137,24 +140,42 @@ impl Disk {
             self.params.rotation().scale(0.5)
         };
         let xfer = Cycles::from_millis(blocks as f64 / 1024.0 / p.media_mb_s * 1_000.0);
-        Cycles::from_millis(p.overhead_ms) + seek + rot + xfer
+        [seek, rot, xfer]
+    }
+
+    /// Pure service time of a request, without performing it.
+    pub fn service_time(&self, from: u64, addr: u64, blocks: u64) -> Cycles {
+        let [seek, rot, xfer] = self.service_phases(from, addr, blocks);
+        seek + rot + xfer
     }
 
     /// Performs a synchronous transfer of `blocks` 1 KB blocks starting at
-    /// `addr`: the calling simulated process sleeps for the service time.
+    /// `addr`: the calling simulated process sleeps for the service time,
+    /// phase by phase so the profiler sees where the milliseconds go.
     pub fn io(&self, env: &KEnv, kind: IoKind, addr: u64, blocks: u64) {
-        let t = {
+        let phases = {
             let mut st = self.state.lock();
-            let t = self.service_time(st.head, addr, blocks);
+            let phases = self.service_phases(st.head, addr, blocks);
             st.head = addr + blocks;
             match kind {
                 IoKind::Read => st.reads += 1,
                 IoKind::Write => st.writes += 1,
             }
             st.blocks_moved += blocks;
-            t
+            phases
         };
-        env.sim.sleep(t);
+        let counter = match kind {
+            IoKind::Read => Counter::DiskReads,
+            IoKind::Write => Counter::DiskWrites,
+        };
+        env.sim.count(counter, 1);
+        let classes = [Class::DiskSeek, Class::DiskRotation, Class::DiskMedia];
+        for (class, t) in classes.into_iter().zip(phases) {
+            if t > Cycles::ZERO {
+                let _s = env.sim.span(class);
+                env.sim.sleep(t);
+            }
+        }
     }
 }
 

@@ -21,6 +21,7 @@ use crate::disk::{Disk, DiskParams};
 use crate::params::FsParams;
 use tnt_cpu::copyin_out;
 use tnt_os::{Errno, FileAttr, Filesystem, KEnv, OpenFlags, Os, SysResult, VnodeId};
+use tnt_sim::trace::Class;
 use tnt_sim::Cycles;
 
 const ROOT_INO: u64 = 1;
@@ -219,6 +220,7 @@ impl SimFs {
     }
 
     fn charge_namei(&self, env: &KEnv, components: usize) {
+        let _s = env.sim.span(Class::FsCpu);
         env.sim.charge(Cycles(
             self.params.per_op_cy + self.params.lookup_cy * components as u64,
         ));
@@ -417,7 +419,10 @@ impl Filesystem for SimFs {
             }
             (n, plan)
         };
-        env.sim.charge(Cycles(self.params.per_op_cy));
+        {
+            let _s = env.sim.span(Class::FsCpu);
+            env.sim.charge(Cycles(self.params.per_op_cy));
+        }
         let nblocks = plan.len() as u64;
         for (addr, cluster) in plan {
             if self.cache.contains(addr) {
@@ -428,8 +433,15 @@ impl Filesystem for SimFs {
                 self.cache.read(env, addr, cluster);
             }
         }
-        env.sim
-            .charge(copyin_out(n) + Cycles(self.params.per_block_read_cy * nblocks));
+        {
+            let _s = env.sim.span(Class::DataCopy);
+            env.sim.charge(copyin_out(n));
+        }
+        {
+            let _s = env.sim.span(Class::FsCpu);
+            env.sim
+                .charge(Cycles(self.params.per_block_read_cy * nblocks));
+        }
         Ok(n)
     }
 
@@ -459,15 +471,24 @@ impl Filesystem for SimFs {
             let plan: Vec<u64> = node.blocks[first..=last].to_vec();
             (plan, rewrites)
         };
-        env.sim
-            .charge(Cycles(self.params.per_op_cy + self.params.write_call_cy));
+        {
+            let _s = env.sim.span(Class::FsCpu);
+            env.sim
+                .charge(Cycles(self.params.per_op_cy + self.params.write_call_cy));
+        }
         let nblocks = plan.len() as u64;
         let new_blocks = nblocks - rewrites;
-        env.sim.charge(
-            copyin_out(len)
-                + Cycles(self.params.per_block_write_cy * new_blocks)
-                + Cycles(self.params.overwrite_block_cy * rewrites),
-        );
+        {
+            let _s = env.sim.span(Class::DataCopy);
+            env.sim.charge(copyin_out(len));
+        }
+        {
+            let _s = env.sim.span(Class::FsCpu);
+            env.sim.charge(
+                Cycles(self.params.per_block_write_cy * new_blocks)
+                    + Cycles(self.params.overwrite_block_cy * rewrites),
+            );
+        }
         for addr in plan {
             self.cache.write(env, addr, false);
         }

@@ -18,11 +18,16 @@
 mod ablations;
 mod experiments;
 mod plot;
+mod profile;
 mod scale;
 mod table;
 
 pub use ablations::{extra_ids, run_extra};
 pub use experiments::{all_ids, bonnie_figures, run_many, run_one, ExperimentOutput};
 pub use plot::{Figure, XScale};
+pub use profile::{
+    profile_experiment, profile_ids, profile_one, ProfileOutput, ProfiledSample,
+    PROFILE_RING_CAPACITY,
+};
 pub use scale::Scale;
 pub use table::{Direction, Row, Table};

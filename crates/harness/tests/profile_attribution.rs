@@ -1,0 +1,124 @@
+//! The payoff tests for `--profile`: the cycle breakdowns must *explain*
+//! the paper's headline results, not just decorate them.
+//!
+//! - Table 5: Linux's 0.38x TCP bandwidth is delayed-ack/window stall,
+//!   not protocol CPU.
+//! - Figure 1: Linux's context-switch curve grows because its O(n)
+//!   run-queue scan grows with the number of processes.
+//! - Figure 12: FreeBSD's create/delete cost is synchronous metadata
+//!   writes pinning the benchmark to the disk.
+//! - And across personalities, the attribution accounts for (nearly) all
+//!   elapsed cycles — the instrumentation has no blind spots.
+
+use tnt_harness::{profile_experiment, ProfiledSample, Scale};
+use tnt_sim::trace::{Class, Counter};
+
+fn find<'a>(samples: &'a [ProfiledSample], label: &str) -> &'a ProfiledSample {
+    samples
+        .iter()
+        .find(|s| s.label == label)
+        .unwrap_or_else(|| {
+            let labels: Vec<&str> = samples.iter().map(|s| s.label.as_str()).collect();
+            panic!("no sample labelled {label:?} in {labels:?}")
+        })
+}
+
+fn share(s: &ProfiledSample, class: Class) -> f64 {
+    s.report.class_total(class) as f64 / s.report.elapsed.max(1) as f64
+}
+
+#[test]
+fn t5_linux_loses_to_delayed_ack_wait() {
+    let samples = profile_experiment("t5", &Scale::quick()).unwrap();
+    let linux = find(&samples, "Linux");
+    let (top_class, _) = linux.report.by_class()[0];
+    assert_eq!(
+        top_class,
+        Class::AckWindowWait,
+        "Linux TCP's largest cost class must be the delayed-ack/window \
+         stall:\n{}",
+        linux.report.render("Linux")
+    );
+    assert!(
+        linux.report.counter(Counter::DelayedAcks) > 0,
+        "every Linux segment waits out a delayed ack"
+    );
+    // FreeBSD streams against a real window: no ack stall at all, and
+    // protocol CPU on top.
+    let freebsd = find(&samples, "FreeBSD");
+    assert_eq!(freebsd.report.class_total(Class::AckWindowWait), 0);
+    assert_eq!(freebsd.report.by_class()[0].0, Class::ProtoCpu);
+    assert_eq!(freebsd.report.counter(Counter::DelayedAcks), 0);
+}
+
+#[test]
+fn f1_linux_sched_scan_grows_with_nprocs() {
+    let scale = Scale::quick();
+    let samples = profile_experiment("f1", &scale).unwrap();
+    let lo = *scale.ctx_procs.first().unwrap();
+    let hi = *scale.ctx_procs.last().unwrap();
+    let small = find(&samples, &format!("Linux n={lo}"));
+    let big = find(&samples, &format!("Linux n={hi}"));
+    // The O(n) scan shows up as per-switch scheduler cost growing with
+    // the number of runnable processes...
+    let per_switch = |s: &ProfiledSample| {
+        s.report.class_total(Class::SchedScan) as f64
+            / s.report.counter(Counter::Dispatches).max(1) as f64
+    };
+    assert!(
+        per_switch(big) > 3.0 * per_switch(small),
+        "Linux's run-queue scan must cost much more per switch at n={hi} \
+         ({:.0}cy) than at n={lo} ({:.0}cy)",
+        per_switch(big),
+        per_switch(small)
+    );
+    // ...and as a growing share of total time, which is Figure 1's slope.
+    assert!(
+        share(big, Class::SchedScan) > share(small, Class::SchedScan),
+        "scan share must grow with nprocs"
+    );
+}
+
+#[test]
+fn f12_freebsd_pays_synchronous_metadata_writes() {
+    let scale = Scale::quick();
+    let samples = profile_experiment("f12", &scale).unwrap();
+    let freebsd = find(&samples, "FreeBSD");
+    let linux = find(&samples, "Linux");
+    let iters = scale.crtdel_iters as u64;
+    let fb_sync = freebsd.report.counter(Counter::SyncMetaWrites);
+    assert!(
+        fb_sync >= 4 * iters,
+        "FFS pays at least four synchronous metadata writes per \
+         create/delete: {fb_sync} over {iters} iterations"
+    );
+    assert!(
+        fb_sync > linux.report.counter(Counter::SyncMetaWrites),
+        "Linux's asynchronous metadata policy writes less synchronously"
+    );
+    let disk = |s: &ProfiledSample| {
+        share(s, Class::DiskSeek) + share(s, Class::DiskRotation) + share(s, Class::DiskMedia)
+    };
+    assert!(
+        disk(freebsd) > disk(linux),
+        "the sync writes pin FreeBSD to the platter: {:.1}% vs {:.1}%",
+        100.0 * disk(freebsd),
+        100.0 * disk(linux)
+    );
+}
+
+#[test]
+fn attribution_covers_at_least_ninety_percent_everywhere() {
+    let scale = Scale::quick();
+    for id in ["t5", "f12", "t2"] {
+        for s in profile_experiment(id, &scale).unwrap() {
+            assert!(
+                s.report.coverage() >= 0.90,
+                "{id}/{}: only {:.1}% of elapsed cycles attributed:\n{}",
+                s.label,
+                100.0 * s.report.coverage(),
+                s.report.render(&s.label)
+            );
+        }
+    }
+}

@@ -17,6 +17,7 @@ use crate::costs::TcpCosts;
 use crate::net::{Addr, Net, PortSink, Proto};
 use crate::udp::Packet;
 use tnt_os::{Errno, KEnv, Kernel, SysResult};
+use tnt_sim::trace::{Class, Counter};
 use tnt_sim::{Cycles, Sim, WaitId};
 
 struct Seg {
@@ -72,6 +73,7 @@ pub struct TcpStream {
 impl TcpStream {
     fn charge_syscall(&self) {
         let c = &self.env.costs;
+        let _t = self.env.sim.span(Class::TrapEntry);
         self.env
             .sim
             .charge(Cycles(c.trap_cy + c.syscall_overhead_cy));
@@ -106,12 +108,20 @@ impl TcpStream {
                 if fits {
                     break;
                 }
+                // A window-limited sender sits here until the receiver's
+                // (possibly delayed) acknowledgment arrives — the stall
+                // the T5 profile attributes Linux's 0.38x to.
+                let _w = self.env.sim.span(Class::AckWindowWait);
                 self.env.sim.wait_on(self.tx.wr_wait, "tcp send window");
             }
-            self.env.sim.charge(Cycles(
-                self.costs.send_seg_cy
-                    + (self.costs.send_per_byte_cy * chunk as f64).round() as u64,
-            ));
+            self.env.sim.count(Counter::TcpSegments, 1);
+            {
+                let _s = self.env.sim.span(Class::ProtoCpu);
+                self.env.sim.charge(Cycles(
+                    self.costs.send_seg_cy
+                        + (self.costs.send_per_byte_cy * chunk as f64).round() as u64,
+                ));
+            }
             self.env.sim.wakeup_one(self.tx.rd_wait);
             sent += chunk;
         }
@@ -166,22 +176,32 @@ impl TcpStream {
                     // reopens the peer's window. A delayed ack (Linux
                     // 1.2.8's coarse generation) holds a window-limited
                     // sender idle for `ack_delay_cy`.
-                    self.env.sim.charge(Cycles(
-                        self.costs.recv_seg_cy * nsegs
-                            + self.costs.ack_cy * nsegs
-                            + (self.costs.recv_per_byte_cy * bytes as f64).round() as u64,
-                    ));
+                    {
+                        let _s = self.env.sim.span(Class::ProtoCpu);
+                        self.env.sim.charge(Cycles(
+                            self.costs.recv_seg_cy * nsegs
+                                + self.costs.ack_cy * nsegs
+                                + (self.costs.recv_per_byte_cy * bytes as f64).round() as u64,
+                        ));
+                    }
                     if self.costs.ack_delay_cy == 0 {
                         self.env.sim.wakeup_one(self.rx.wr_wait);
                     } else {
+                        self.env.sim.count(Counter::DelayedAcks, 1);
                         let at = self.env.sim.now() + Cycles(self.costs.ack_delay_cy);
                         self.env.sim.wakeup_one_at(self.rx.wr_wait, at);
                     }
                     return Ok(bytes);
                 }
                 StepOutcome::Eof => return Ok(0),
-                StepOutcome::WaitUntil(at) => self.env.sim.sleep_until(at),
-                StepOutcome::Wait => self.env.sim.wait_on(self.rx.rd_wait, "tcp recv"),
+                StepOutcome::WaitUntil(at) => {
+                    let _w = self.env.sim.span(Class::WireTransit);
+                    self.env.sim.sleep_until(at);
+                }
+                StepOutcome::Wait => {
+                    let _w = self.env.sim.span(Class::NetRecvWait);
+                    self.env.sim.wait_on(self.rx.rd_wait, "tcp recv");
+                }
             }
         }
     }
@@ -266,13 +286,17 @@ impl TcpListener {
     /// Accepts one connection, blocking until a peer connects.
     pub fn accept(&self) -> SysResult<TcpStream> {
         let c = &self.env.costs;
-        self.env
-            .sim
-            .charge(Cycles(c.trap_cy + c.syscall_overhead_cy));
+        {
+            let _t = self.env.sim.span(Class::TrapEntry);
+            self.env
+                .sim
+                .charge(Cycles(c.trap_cy + c.syscall_overhead_cy));
+        }
         loop {
             let conn = self.q.pending.lock().pop_front();
             match conn {
                 Some(conn) => {
+                    let _s = self.env.sim.span(Class::ProtoCpu);
                     self.env.sim.charge(Cycles(self.costs.connect_cy / 2));
                     return Ok(TcpStream {
                         net: self.net.clone(),
@@ -284,7 +308,10 @@ impl TcpListener {
                         rx: conn.a2b,
                     });
                 }
-                None => self.env.sim.wait_on(self.q.wait, "tcp accept"),
+                None => {
+                    let _w = self.env.sim.span(Class::NetRecvWait);
+                    self.env.sim.wait_on(self.q.wait, "tcp accept");
+                }
             }
         }
     }
@@ -330,9 +357,15 @@ pub fn connect_custom(
     // the ListenQ (the only Tcp sinks are listeners).
     let a2b = TcpDir::new(&env.sim, window);
     let b2a = TcpDir::new(&env.sim, window);
-    env.sim.charge(Cycles(
-        env.costs.trap_cy + env.costs.syscall_overhead_cy + costs.connect_cy / 2,
-    ));
+    {
+        let _t = env.sim.span(Class::TrapEntry);
+        env.sim
+            .charge(Cycles(env.costs.trap_cy + env.costs.syscall_overhead_cy));
+    }
+    {
+        let _s = env.sim.span(Class::ProtoCpu);
+        env.sim.charge(Cycles(costs.connect_cy / 2));
+    }
     // The handshake crosses the wire twice.
     let _ = net.transit(&env, local_host, to.host, 64);
     let _ = net.transit(&env, local_host, to.host, 64);

@@ -15,6 +15,7 @@ use parking_lot::Mutex;
 use crate::costs::NetCosts;
 use crate::net::{Addr, Net, PortSink, Proto};
 use tnt_os::{KEnv, Kernel, SysResult};
+use tnt_sim::trace::{Class, Counter};
 use tnt_sim::{Cycles, Sim, WaitId};
 
 /// Outcome of a timed receive.
@@ -127,6 +128,7 @@ impl UdpSocket {
 
     fn charge_syscall(&self) {
         let c = &self.env.costs;
+        let _t = self.env.sim.span(Class::TrapEntry);
         self.env
             .sim
             .charge(Cycles(c.trap_cy + c.syscall_overhead_cy));
@@ -154,11 +156,15 @@ impl UdpSocket {
         self.charge_syscall();
         let u = &self.costs.udp;
         let frags = len.div_ceil(u.mtu).max(1);
-        self.env.sim.charge(Cycles(
-            u.send_fixed_cy
-                + u.per_frag_cy * frags
-                + (u.send_per_byte_cy * len as f64).round() as u64,
-        ));
+        self.env.sim.count(Counter::UdpDatagrams, 1);
+        {
+            let _s = self.env.sim.span(Class::ProtoCpu);
+            self.env.sim.charge(Cycles(
+                u.send_fixed_cy
+                    + u.per_frag_cy * frags
+                    + (u.send_per_byte_cy * len as f64).round() as u64,
+            ));
+        }
         // Failure injection: a lost frame still consumed wire time.
         let available_at = self.net.transit(&self.env, self.addr.host, to.host, len);
         if self.net.frame_lost(&self.env, self.addr.host, to.host) {
@@ -229,36 +235,43 @@ impl UdpSocket {
             match step {
                 StepOutcome::Got(pkt) => {
                     let u = &self.costs.udp;
+                    let _s = self.env.sim.span(Class::ProtoCpu);
                     self.env.sim.charge(Cycles(
                         u.recv_fixed_cy + (u.recv_per_byte_cy * pkt.len as f64).round() as u64,
                     ));
                     return Ok(Recv::Packet(pkt));
                 }
                 StepOutcome::Closed => return Ok(Recv::Closed),
-                StepOutcome::WaitUntil(at) => match deadline {
-                    Some(d) if d < at => {
-                        if self.env.sim.now() < d {
-                            self.env.sim.sleep_until(d);
-                        }
-                        return Ok(Recv::TimedOut);
-                    }
-                    _ => self.env.sim.sleep_until(at),
-                },
-                StepOutcome::Wait => match deadline {
-                    Some(d) => {
-                        let left = d.saturating_sub(self.env.sim.now());
-                        if left == Cycles::ZERO
-                            || !self.env.sim.wait_on_timeout(
-                                self.core.rcv_wait,
-                                left,
-                                "udp recv (timed)",
-                            )
-                        {
+                StepOutcome::WaitUntil(at) => {
+                    let _w = self.env.sim.span(Class::WireTransit);
+                    match deadline {
+                        Some(d) if d < at => {
+                            if self.env.sim.now() < d {
+                                self.env.sim.sleep_until(d);
+                            }
                             return Ok(Recv::TimedOut);
                         }
+                        _ => self.env.sim.sleep_until(at),
                     }
-                    None => self.env.sim.wait_on(self.core.rcv_wait, "udp recv"),
-                },
+                }
+                StepOutcome::Wait => {
+                    let _w = self.env.sim.span(Class::NetRecvWait);
+                    match deadline {
+                        Some(d) => {
+                            let left = d.saturating_sub(self.env.sim.now());
+                            if left == Cycles::ZERO
+                                || !self.env.sim.wait_on_timeout(
+                                    self.core.rcv_wait,
+                                    left,
+                                    "udp recv (timed)",
+                                )
+                            {
+                                return Ok(Recv::TimedOut);
+                            }
+                        }
+                        None => self.env.sim.wait_on(self.core.rcv_wait, "udp recv"),
+                    }
+                }
             }
         }
     }

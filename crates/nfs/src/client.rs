@@ -25,6 +25,7 @@ use crate::proto::{Fh, NfsCall, NfsReply, RpcReply, RpcRequest};
 use tnt_cpu::copyin_out;
 use tnt_net::{Addr, Net, Recv, UdpSocket};
 use tnt_os::{Errno, FileAttr, Filesystem, KEnv, Kernel, OpenFlags, Os, SysResult, VnodeId};
+use tnt_sim::trace::{Class, Counter};
 use tnt_sim::{Cycles, SimMutex};
 
 /// Per-OS client parameters.
@@ -207,15 +208,23 @@ impl NfsClient {
             *st.rpc_counts.entry(Self::call_name(&call)).or_insert(0) += 1;
             st.xid
         };
-        env.sim.charge(Cycles(self.params.per_op_cy));
+        env.sim.count(Counter::RpcCalls, 1);
+        {
+            let _s = env.sim.span(Class::ProtoCpu);
+            env.sim.charge(Cycles(self.params.per_op_cy));
+        }
         let bytes = RpcRequest { xid, call }.encode();
         // Send, then wait with the classic doubling timeout; a lost
         // request or lost reply is retransmitted with the SAME xid so
         // the server's duplicate-request cache can absorb replays.
+        // Everything from first send to matching reply counts as RPC
+        // round-trip time in the profile.
+        let _rpc = env.sim.span(Class::RpcWait);
         let mut timeout = RPC_TIMEOUT;
         for attempt in 0..=RPC_RETRIES {
             if attempt > 0 {
                 self.state.lock().retransmits += 1;
+                env.sim.count(Counter::RpcRetransmits, 1);
             }
             self.sock.send_padded(self.server, bytes.clone(), pad)?;
             let deadline = env.sim.now() + timeout;

@@ -16,6 +16,7 @@ use parking_lot::Mutex;
 use crate::proto::{Fh, NfsCall, NfsReply, RpcReply, RpcRequest, WireAttr, NFS_PORT};
 use tnt_net::{Addr, Net, UdpSocket};
 use tnt_os::{Errno, Filesystem, KEnv, Kernel, OpenFlags, Os, SysResult};
+use tnt_sim::trace::Class;
 use tnt_sim::Cycles;
 
 /// Server behaviour knobs.
@@ -144,7 +145,14 @@ fn server_loop(
             Ok(Some(pkt)) => pkt,
             Ok(None) | Err(_) => return,
         };
-        env.sim.charge(Cycles(config.per_op_cy));
+        // Everything between receiving a request and posting its reply is
+        // server-side RPC time: decode/dispatch CPU plus the filesystem
+        // work (which opens its own nested spans — disk phases and all).
+        let _srv = env.sim.span(Class::RpcServer);
+        {
+            let _s = env.sim.span(Class::ProtoCpu);
+            env.sim.charge(Cycles(config.per_op_cy));
+        }
         let req = match RpcRequest::decode(&pkt.data) {
             Ok(r) => r,
             Err(_) => continue, // Malformed datagram: drop, like rpcd.

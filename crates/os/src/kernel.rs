@@ -19,6 +19,7 @@ use crate::fdtable::{Fd, FdTable, File, FileObj};
 use crate::pipe::Pipe;
 use crate::sched::ClusterPolicy;
 use crate::vfs::{FileAttr, Filesystem, KEnv, OpenFlags};
+use tnt_sim::trace::{Class, Counter, CounterSet};
 use tnt_sim::{Cycles, Sim, SimConfig, Tid, WaitId};
 
 /// Process identifier (same space as the engine's [`Tid`]).
@@ -43,19 +44,14 @@ pub struct KernelStats {
     pub execs: u64,
 }
 
-#[derive(Default)]
-struct Counters {
-    syscalls: std::sync::atomic::AtomicU64,
-    forks: std::sync::atomic::AtomicU64,
-    execs: std::sync::atomic::AtomicU64,
-}
-
 struct KernelInner {
     env: KEnv,
     tag: u32,
     tasks: Arc<AtomicUsize>,
     procs: Mutex<HashMap<Pid, ProcEntry>>,
-    counters: Counters,
+    /// Per-machine counter bank (the simulation's tracer aggregates the
+    /// same counters machine-wide; this one keeps `stats()` per kernel).
+    counters: CounterSet,
     /// Mount table: (prefix, filesystem), longest prefix wins.
     mounts: Mutex<Vec<(String, Arc<dyn Filesystem>)>>,
 }
@@ -130,7 +126,7 @@ impl Kernel {
                 tag,
                 tasks,
                 procs: Mutex::new(HashMap::new()),
-                counters: Counters::default(),
+                counters: CounterSet::new(),
                 mounts: Mutex::new(Vec::new()),
             }),
         }
@@ -209,14 +205,20 @@ impl Kernel {
     /// Kernel event counters accumulated so far.
     pub fn stats(&self) -> KernelStats {
         KernelStats {
-            syscalls: self.inner.counters.syscalls.load(Ordering::Relaxed),
-            forks: self.inner.counters.forks.load(Ordering::Relaxed),
-            execs: self.inner.counters.execs.load(Ordering::Relaxed),
+            syscalls: self.inner.counters.get(Counter::Syscalls),
+            forks: self.inner.counters.get(Counter::Forks),
+            execs: self.inner.counters.get(Counter::Execs),
         }
     }
 
-    fn count_syscall(&self) {
-        self.inner.counters.syscalls.fetch_add(1, Ordering::Relaxed);
+    /// This machine's full counter bank (Chen-style event counts).
+    pub fn counters(&self) -> &CounterSet {
+        &self.inner.counters
+    }
+
+    fn count(&self, c: Counter) {
+        self.inner.counters.add(c, 1);
+        self.sim().count(c, 1);
     }
 
     /// Spawns the first process of a program (no fork cost charged; think
@@ -321,14 +323,16 @@ impl UProc {
     }
 
     fn charge_trap(&self) {
-        self.kernel.count_syscall();
+        self.kernel.count(Counter::Syscalls);
         let c = self.kernel.costs();
+        let _t = self.sim().span(Class::TrapEntry);
         self.sim().charge(Cycles(c.trap_cy));
     }
 
     fn charge_syscall(&self) {
-        self.kernel.count_syscall();
+        self.kernel.count(Counter::Syscalls);
         let c = self.kernel.costs();
+        let _t = self.sim().span(Class::TrapEntry);
         self.sim().charge(Cycles(c.trap_cy + c.syscall_overhead_cy));
     }
 
@@ -356,14 +360,13 @@ impl UProc {
     where
         F: FnOnce(UProc) + Send + 'static,
     {
-        self.kernel.count_syscall();
-        self.kernel
-            .inner
-            .counters
-            .forks
-            .fetch_add(1, Ordering::Relaxed);
+        self.kernel.count(Counter::Syscalls);
+        self.kernel.count(Counter::Forks);
         let c = self.kernel.costs();
-        self.sim().charge(Cycles(c.trap_cy + c.fork_cy));
+        {
+            let _t = self.sim().span(Class::TrapEntry);
+            self.sim().charge(Cycles(c.trap_cy + c.fork_cy));
+        }
         let child_fds = self.kernel.with_proc(self.pid, |e| e.fds.fork_clone());
         let pid = self.kernel.spawn_internal(name.into(), f);
         self.kernel.with_proc(pid, |e| e.fds = child_fds);
@@ -373,13 +376,10 @@ impl UProc {
     /// `execve(2)` cost model: charges image setup; the caller then runs
     /// the new program's code itself.
     pub fn exec(&self) {
-        self.kernel.count_syscall();
-        self.kernel
-            .inner
-            .counters
-            .execs
-            .fetch_add(1, Ordering::Relaxed);
+        self.kernel.count(Counter::Syscalls);
+        self.kernel.count(Counter::Execs);
         let c = self.kernel.costs();
+        let _t = self.sim().span(Class::TrapEntry);
         self.sim().charge(Cycles(c.trap_cy + c.exec_cy));
     }
 

@@ -16,6 +16,7 @@ use parking_lot::Mutex;
 use crate::costs::PipeCosts;
 use crate::errno::{Errno, SysResult};
 use crate::vfs::KEnv;
+use tnt_sim::trace::Class;
 use tnt_sim::{Cycles, Sim, WaitId};
 
 struct PipeState {
@@ -60,7 +61,10 @@ impl Pipe {
     /// Writes all of `data`, blocking as the buffer fills and the reader
     /// drains it. Returns bytes written, or `EPIPE` once no reader exists.
     pub fn write(&self, env: &KEnv, data: &[u8]) -> SysResult<u64> {
-        env.sim.charge(Cycles(self.costs.write_op_cy));
+        {
+            let _s = env.sim.span(Class::ProtoCpu);
+            env.sim.charge(Cycles(self.costs.write_op_cy));
+        }
         let mut written = 0u64;
         while (written as usize) < data.len() {
             let moved = {
@@ -71,6 +75,7 @@ impl Pipe {
                 let space = self.costs.capacity as usize - st.buf.len();
                 if space == 0 {
                     drop(st);
+                    let _w = env.sim.span(Class::PipeWait);
                     env.sim.wait_on(self.wr_q, "pipe full");
                     continue;
                 }
@@ -78,7 +83,14 @@ impl Pipe {
                 st.buf.extend(&data[written as usize..written as usize + n]);
                 n as u64
             };
-            env.sim.charge(self.copy_cost(moved) + self.seg_cost(moved));
+            {
+                let _s = env.sim.span(Class::DataCopy);
+                env.sim.charge(self.copy_cost(moved));
+            }
+            {
+                let _s = env.sim.span(Class::ProtoCpu);
+                env.sim.charge(self.seg_cost(moved));
+            }
             env.sim.wakeup_one(self.rd_q);
             written += moved;
         }
@@ -88,7 +100,10 @@ impl Pipe {
     /// Reads up to `len` bytes, blocking while the pipe is empty and a
     /// writer remains; returns an empty vector at end of file.
     pub fn read(&self, env: &KEnv, len: u64) -> SysResult<Vec<u8>> {
-        env.sim.charge(Cycles(self.costs.read_op_cy));
+        {
+            let _s = env.sim.span(Class::ProtoCpu);
+            env.sim.charge(Cycles(self.costs.read_op_cy));
+        }
         if len == 0 {
             return Ok(Vec::new());
         }
@@ -100,14 +115,21 @@ impl Pipe {
                         return Ok(Vec::new()); // EOF
                     }
                     drop(st);
+                    let _w = env.sim.span(Class::PipeWait);
                     env.sim.wait_on(self.rd_q, "pipe empty");
                     continue;
                 }
                 let n = (len as usize).min(st.buf.len());
                 st.buf.drain(..n).collect::<Vec<u8>>()
             };
-            env.sim
-                .charge(self.copy_cost(out.len() as u64) + self.seg_cost(out.len() as u64));
+            {
+                let _s = env.sim.span(Class::DataCopy);
+                env.sim.charge(self.copy_cost(out.len() as u64));
+            }
+            {
+                let _s = env.sim.span(Class::ProtoCpu);
+                env.sim.charge(self.seg_cost(out.len() as u64));
+            }
             env.sim.wakeup_one(self.wr_q);
             return Ok(out);
         }

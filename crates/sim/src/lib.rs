@@ -34,8 +34,12 @@ mod policy;
 mod stats;
 mod time;
 
-pub use engine::{Sim, SimConfig, SimError, WaitId};
+pub use engine::{Sim, SimConfig, SimError, TraceSpan, WaitId};
 pub use lock::SimMutex;
 pub use policy::{DispatchEnv, FifoPolicy, Pick, RunPolicy, Tid};
 pub use stats::{normalize_higher_better, normalize_lower_better, Series, Summary};
+
+// The tracing subsystem this engine reports into, re-exported so kernel
+// models and the harness share one set of attribution types.
+pub use tnt_trace as trace;
 pub use time::{mb_per_sec, mbit_per_sec, Cycles, CPU_HZ, MEGABIT, MEGABYTE};

@@ -1,0 +1,227 @@
+//! Offline drop-in for the `rand` 0.8 API surface this workspace uses:
+//! `rngs::StdRng`, `SeedableRng::seed_from_u64`, and `Rng::gen_range` over
+//! integer and float ranges.
+//!
+//! The build environment has no registry access, so the workspace vendors
+//! the handful of third-party APIs it consumes as thin local shims (see
+//! `vendor/README.md`). The generator here is xoshiro256** seeded via
+//! SplitMix64 — NOT the upstream ChaCha12 `StdRng`, so the value streams
+//! differ from real `rand`. That is acceptable for this repo: the
+//! simulation only requires that a fixed seed give a fixed stream, and all
+//! calibration tests were re-baselined against this generator.
+
+/// A source of 64-bit random words.
+pub trait RngCore {
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns the next 32 random bits (upper half of [`next_u64`]).
+    ///
+    /// [`next_u64`]: RngCore::next_u64
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Seedable construction, matching the subset of `rand::SeedableRng` used
+/// here (`seed_from_u64` only).
+pub trait SeedableRng: Sized {
+    /// Builds a generator whose stream is fully determined by `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Range sampling, matching the subset of `rand::Rng` used here
+/// (`gen_range` only).
+pub trait Rng: RngCore {
+    /// Samples a value uniformly from `range` (half-open or inclusive).
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: distributions::uniform::SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample_single(self)
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+pub mod distributions {
+    //! Distribution plumbing: only uniform range sampling is provided.
+
+    pub mod uniform {
+        //! Uniform sampling over `Range` / `RangeInclusive`.
+
+        use crate::RngCore;
+        use std::ops::{Range, RangeInclusive};
+
+        /// A range that knows how to sample itself. Implemented for the
+        /// primitive integer and float `Range`/`RangeInclusive` types.
+        pub trait SampleRange<T> {
+            /// Draws one value from the range using `rng`.
+            fn sample_single<R: RngCore>(self, rng: &mut R) -> T;
+        }
+
+        macro_rules! int_ranges {
+            ($($t:ty),*) => {$(
+                impl SampleRange<$t> for Range<$t> {
+                    fn sample_single<R: RngCore>(self, rng: &mut R) -> $t {
+                        assert!(self.start < self.end, "empty range in gen_range");
+                        let span = (self.end as i128) - (self.start as i128);
+                        let off = (rng.next_u64() as i128).rem_euclid(span);
+                        ((self.start as i128) + off) as $t
+                    }
+                }
+                impl SampleRange<$t> for RangeInclusive<$t> {
+                    fn sample_single<R: RngCore>(self, rng: &mut R) -> $t {
+                        let (lo, hi) = (*self.start(), *self.end());
+                        assert!(lo <= hi, "empty range in gen_range");
+                        let span = (hi as i128) - (lo as i128) + 1;
+                        let off = (rng.next_u64() as i128).rem_euclid(span);
+                        ((lo as i128) + off) as $t
+                    }
+                }
+            )*};
+        }
+        int_ranges!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+        /// 53 uniform mantissa bits mapped to `[0, 1)`.
+        fn unit_f64<R: RngCore>(rng: &mut R) -> f64 {
+            (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+
+        /// 53 uniform mantissa bits mapped to `[0, 1]`.
+        fn unit_f64_inclusive<R: RngCore>(rng: &mut R) -> f64 {
+            (rng.next_u64() >> 11) as f64 * (1.0 / ((1u64 << 53) - 1) as f64)
+        }
+
+        macro_rules! float_ranges {
+            ($($t:ty),*) => {$(
+                impl SampleRange<$t> for Range<$t> {
+                    fn sample_single<R: RngCore>(self, rng: &mut R) -> $t {
+                        assert!(self.start < self.end, "empty range in gen_range");
+                        let u = unit_f64(rng) as $t;
+                        self.start + u * (self.end - self.start)
+                    }
+                }
+                impl SampleRange<$t> for RangeInclusive<$t> {
+                    fn sample_single<R: RngCore>(self, rng: &mut R) -> $t {
+                        let (lo, hi) = (*self.start(), *self.end());
+                        assert!(lo <= hi, "empty range in gen_range");
+                        let u = unit_f64_inclusive(rng) as $t;
+                        lo + u * (hi - lo)
+                    }
+                }
+            )*};
+        }
+        float_ranges!(f32, f64);
+    }
+}
+
+pub mod rngs {
+    //! Concrete generators: only [`StdRng`] is provided.
+
+    use crate::{RngCore, SeedableRng};
+
+    /// Deterministic xoshiro256** generator standing in for `rand`'s
+    /// `StdRng`. Statistically strong enough for simulation jitter and
+    /// workload shuffling; not cryptographic.
+    #[derive(Clone, Debug, PartialEq, Eq)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> StdRng {
+            let mut sm = seed;
+            let s = [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ];
+            StdRng { s }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let [s0, s1, s2, s3] = self.s;
+            let result = s1.wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = s1 << 17;
+            let (mut n2, mut n3) = (s2 ^ s0, s3 ^ s1);
+            let n1 = s1 ^ n2;
+            let n0 = s0 ^ n3;
+            n2 ^= t;
+            n3 = n3.rotate_left(45);
+            self.s = [n0, n1, n2, n3];
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, RngCore, SeedableRng};
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        let same = (0..16).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 4);
+    }
+
+    #[test]
+    fn int_ranges_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v: u64 = rng.gen_range(3u64..17);
+            assert!((3..17).contains(&v));
+            let w: i32 = rng.gen_range(-5i32..=5);
+            assert!((-5..=5).contains(&w));
+        }
+    }
+
+    #[test]
+    fn float_ranges_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut lo_seen = f64::INFINITY;
+        let mut hi_seen = f64::NEG_INFINITY;
+        for _ in 0..1000 {
+            let v: f64 = rng.gen_range(0.0..1.0);
+            assert!((0.0..1.0).contains(&v));
+            let w: f64 = rng.gen_range(0.99..=1.01);
+            assert!((0.99..=1.01).contains(&w));
+            lo_seen = lo_seen.min(v);
+            hi_seen = hi_seen.max(v);
+        }
+        assert!(lo_seen < 0.2 && hi_seen > 0.8, "spread looks uniform-ish");
+    }
+
+    #[test]
+    fn full_domain_inclusive_range() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..100 {
+            let _: u8 = rng.gen_range(0u8..=u8::MAX);
+            let _: i64 = rng.gen_range(i64::MIN..=i64::MAX);
+        }
+    }
+}
