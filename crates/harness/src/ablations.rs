@@ -11,6 +11,7 @@
 //!   Solaris 2.5.
 
 use crate::experiments::ExperimentOutput;
+use crate::plan::{ExperimentPlan, PlanBody};
 use crate::plot::{Figure, XScale};
 use crate::scale::Scale;
 use tnt_core::{
@@ -20,6 +21,7 @@ use tnt_core::{
 use tnt_fs::FsParams;
 use tnt_os::future::{freebsd_2_1, linux_1_3_40, solaris_2_5};
 use tnt_os::{DispatchCosts, OsCosts};
+use tnt_runner::ExperimentRecord;
 use tnt_sim::Series;
 
 /// The extra experiment ids, in presentation order.
@@ -38,6 +40,31 @@ pub fn run_extra(id: &str, scale: &Scale) -> ExperimentOutput {
         "x6" => x6_event_counters(scale),
         "x7" => x7_latencies(scale),
         other => panic!("unknown ablation id {other:?}"),
+    }
+}
+
+/// Plans one extra experiment as a single parallel-runner shard (the
+/// ablations are cheap single-seed studies; the whole-experiment
+/// granularity is enough to overlap them with the big sweeps).
+pub(crate) fn plan_extra(id: &str, scale: &Scale) -> ExperimentPlan {
+    let (id, title, cost): (&'static str, &'static str, u64) = match id {
+        "x1" => ("x1", "ABLATION x1. TCP window sweep", 20_000),
+        "x2" => ("x2", "ABLATION x2. Metadata policy", 5_000),
+        "x3" => ("x3", "ABLATION x3. Solaris dispatch table", 40_000),
+        "x4" => ("x4", "PROJECTION x4. Next releases", 10_000),
+        "x5" => ("x5", "ABLATION x5. Crash consistency", 3_000),
+        "x6" => ("x6", "PROJECTION x6. Event counters", 3_000),
+        "x7" => ("x7", "COMPANION x7. Latencies", 30_000),
+        other => panic!("unknown ablation id {other:?}"),
+    };
+    let scale = scale.clone();
+    ExperimentPlan {
+        id,
+        title,
+        body: PlanBody::Whole {
+            cost,
+            run: Box::new(move || vec![run_extra(id, &scale)]),
+        },
     }
 }
 
@@ -62,11 +89,14 @@ fn x1_tcp_window(scale: &Scale) -> ExperimentOutput {
          \x20 constraint; a few packets of window recover most of the gap.\n",
         fig.render()
     );
+    let record =
+        ExperimentRecord::new("x1", "ABLATION x1. TCP window sweep", 1).with_stats(fig.stat_lines());
     ExperimentOutput {
         id: "x1",
         title: "ABLATION x1. TCP window sweep",
         text,
         csv: vec![("x1_tcp_window.csv".into(), fig.to_csv())],
+        record: Some(record),
     }
 }
 
@@ -118,6 +148,7 @@ fn x2_metadata_policy(scale: &Scale) -> ExperimentOutput {
         title: "ABLATION x2. Metadata policy",
         text,
         csv: vec![],
+        record: Some(ExperimentRecord::new("x2", "ABLATION x2. Metadata policy", 1)),
     }
 }
 
@@ -156,11 +187,14 @@ fn x3_dispatch_table(scale: &Scale) -> ExperimentOutput {
          \x20 (and could not verify without Solaris source).\n",
         fig.render()
     );
+    let record = ExperimentRecord::new("x3", "ABLATION x3. Solaris dispatch table", 1)
+        .with_stats(fig.stat_lines());
     ExperimentOutput {
         id: "x3",
         title: "ABLATION x3. Solaris dispatch table",
         text,
         csv: vec![("x3_dispatch_table.csv".into(), fig.to_csv())],
+        record: Some(record),
     }
 }
 
@@ -208,6 +242,7 @@ fn x4_future_releases(scale: &Scale) -> ExperimentOutput {
         title: "PROJECTION x4. Next releases",
         text,
         csv: vec![],
+        record: Some(ExperimentRecord::new("x4", "PROJECTION x4. Next releases", 1)),
     }
 }
 
@@ -280,6 +315,7 @@ fn x5_crash_consistency(scale: &Scale) -> ExperimentOutput {
         title: "ABLATION x5. Crash consistency",
         text,
         csv: vec![],
+        record: Some(ExperimentRecord::new("x5", "ABLATION x5. Crash consistency", 1)),
     }
 }
 
@@ -352,6 +388,7 @@ fn x6_event_counters(scale: &Scale) -> ExperimentOutput {
         title: "PROJECTION x6. Event counters",
         text,
         csv: vec![],
+        record: Some(ExperimentRecord::new("x6", "PROJECTION x6. Event counters", 1)),
     }
 }
 
@@ -410,6 +447,7 @@ fn x7_latencies(scale: &Scale) -> ExperimentOutput {
         title: "COMPANION x7. Latencies",
         text,
         csv: vec![],
+        record: Some(ExperimentRecord::new("x7", "COMPANION x7. Latencies", 1)),
     }
 }
 

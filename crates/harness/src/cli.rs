@@ -1,0 +1,245 @@
+//! Argument parsing for the `reproduce` binary.
+//!
+//! Lives in the library (rather than the binary) so the parser is unit
+//! testable: unknown `--flags` must be rejected up front with a usage
+//! error instead of falling through to the experiment-id list and
+//! dying later as a confusing "unknown experiment id".
+
+use std::path::PathBuf;
+
+use crate::{all_ids, extra_ids};
+
+/// What `reproduce` has been asked to do.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Mode {
+    /// Run the experiments and print tables/figures (the default).
+    Run,
+    /// Run the suite and write `baselines.json` into the output dir.
+    Bless,
+    /// Run the suite and gate it against the blessed `baselines.json`.
+    Check,
+    /// Time the suite serially and in parallel; write `BENCH_runner.json`.
+    Bench,
+    /// Print every experiment id (including ablations) and exit.
+    List,
+    /// Print usage and exit.
+    Help,
+}
+
+/// Which scale constructor to use (kept as a tag so parsing stays
+/// cheap and comparable in tests).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ScaleKind {
+    /// `Scale::quick()` — the default.
+    Quick,
+    /// `Scale::full()` — the paper's methodology.
+    Full,
+}
+
+/// A parsed command line.
+#[derive(Clone, Debug)]
+pub struct Cli {
+    /// Subcommand.
+    pub mode: Mode,
+    /// Experiment scale.
+    pub scale: ScaleKind,
+    /// Worker threads for the experiment pool; 0 means "one per host
+    /// core".
+    pub jobs: usize,
+    /// Regression-gate tolerance in percent (see `BaselineStore::compare`).
+    pub tolerance_pct: f64,
+    /// Attach cycle-attribution profiles to each experiment.
+    pub profile: bool,
+    /// Output directory for CSVs, baselines and bench artifacts.
+    pub out_dir: PathBuf,
+    /// Optional markdown report path.
+    pub markdown: Option<PathBuf>,
+    /// Requested experiment ids; empty (or containing "all") means the
+    /// whole suite including ablations.
+    pub ids: Vec<String>,
+}
+
+/// The usage string printed by `--help` and prefixed to parse errors.
+pub fn usage() -> String {
+    format!(
+        "usage: reproduce [bless|check|bench] [--quick|--full] [--jobs N] \
+         [--tolerance PCT] [--profile] [--out DIR] [--markdown FILE] [ids...|all]\n\
+         \n\
+         subcommands:\n\
+         \x20 (none)   run the experiments and print each table/figure\n\
+         \x20 bless    run, then write results/baselines.json (the golden baselines)\n\
+         \x20 check    run, then fail loudly if any statistic drifted past --tolerance\n\
+         \x20 bench    time the suite serially vs --jobs N; write BENCH_runner.json\n\
+         \n\
+         experiments: {}\n\
+         ablations:   {}",
+        all_ids().join(" "),
+        extra_ids().join(" ")
+    )
+}
+
+fn parse_number<T: std::str::FromStr>(flag: &str, value: Option<String>) -> Result<T, String> {
+    let raw = value.ok_or_else(|| format!("{flag} needs a value\n{}", usage()))?;
+    raw.parse()
+        .map_err(|_| format!("{flag} got a non-numeric value {raw:?}\n{}", usage()))
+}
+
+/// Parses the argument list (without the program name).
+///
+/// Unrecognised `--`-prefixed arguments are an error — they must never
+/// be swallowed into the experiment-id list.
+pub fn parse(args: Vec<String>) -> Result<Cli, String> {
+    let mut cli = Cli {
+        mode: Mode::Run,
+        scale: ScaleKind::Quick,
+        jobs: 1,
+        tolerance_pct: 2.0,
+        profile: false,
+        out_dir: PathBuf::from("results"),
+        markdown: None,
+        ids: Vec::new(),
+    };
+    let mut iter = args.into_iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "bless" => cli.mode = Mode::Bless,
+            "check" => cli.mode = Mode::Check,
+            "bench" => cli.mode = Mode::Bench,
+            "--list" => cli.mode = Mode::List,
+            "--help" | "-h" => cli.mode = Mode::Help,
+            "--quick" => cli.scale = ScaleKind::Quick,
+            "--full" => cli.scale = ScaleKind::Full,
+            "--profile" => cli.profile = true,
+            "--jobs" | "-j" => cli.jobs = parse_number("--jobs", iter.next())?,
+            "--tolerance" => cli.tolerance_pct = parse_number("--tolerance", iter.next())?,
+            "--out" => {
+                cli.out_dir =
+                    PathBuf::from(iter.next().ok_or_else(|| {
+                        format!("--out needs a directory\n{}", usage())
+                    })?);
+            }
+            "--markdown" => {
+                cli.markdown = Some(PathBuf::from(iter.next().ok_or_else(|| {
+                    format!("--markdown needs a file\n{}", usage())
+                })?));
+            }
+            other if other.starts_with('-') => {
+                return Err(format!("unknown flag {other:?}\n{}", usage()));
+            }
+            other => cli.ids.push(other.to_string()),
+        }
+    }
+    if cli.tolerance_pct < 0.0 {
+        return Err(format!("--tolerance must be >= 0\n{}", usage()));
+    }
+    Ok(cli)
+}
+
+impl Cli {
+    /// The effective worker count: `--jobs 0` means one per host core.
+    pub fn effective_jobs(&self) -> usize {
+        if self.jobs == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            self.jobs
+        }
+    }
+
+    /// The ids to run: the explicit list, or the whole suite
+    /// (experiments then ablations) when empty or "all".
+    pub fn resolved_ids(&self) -> Vec<String> {
+        if self.ids.is_empty() || self.ids.iter().any(|i| i == "all") {
+            all_ids()
+                .iter()
+                .chain(extra_ids().iter())
+                .map(|s| s.to_string())
+                .collect()
+        } else {
+            self.ids.clone()
+        }
+    }
+
+    /// Builds the scale.
+    pub fn scale(&self) -> crate::Scale {
+        match self.scale {
+            ScaleKind::Quick => crate::Scale::quick(),
+            ScaleKind::Full => crate::Scale::full(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn defaults() {
+        let cli = parse(vec![]).unwrap();
+        assert_eq!(cli.mode, Mode::Run);
+        assert_eq!(cli.scale, ScaleKind::Quick);
+        assert_eq!(cli.jobs, 1);
+        assert!(!cli.profile);
+        assert_eq!(cli.out_dir, PathBuf::from("results"));
+        // Empty ids resolve to the full suite, ablations included.
+        let ids = cli.resolved_ids();
+        assert!(ids.iter().any(|i| i == "t2"));
+        assert!(ids.iter().any(|i| i == "x7"));
+    }
+
+    #[test]
+    fn unknown_flags_are_rejected_up_front() {
+        for bad in ["--paralel", "--jbos", "-z", "--bless"] {
+            let err = parse(args(&[bad, "t2"])).unwrap_err();
+            assert!(err.contains(bad), "error names the flag: {err}");
+            assert!(err.contains("usage:"), "error shows usage: {err}");
+        }
+    }
+
+    #[test]
+    fn subcommands_and_flags_parse() {
+        let cli = parse(args(&[
+            "check",
+            "--full",
+            "--jobs",
+            "8",
+            "--tolerance",
+            "1.5",
+            "t2",
+            "t5",
+        ]))
+        .unwrap();
+        assert_eq!(cli.mode, Mode::Check);
+        assert_eq!(cli.scale, ScaleKind::Full);
+        assert_eq!(cli.jobs, 8);
+        assert_eq!(cli.tolerance_pct, 1.5);
+        assert_eq!(cli.ids, vec!["t2", "t5"]);
+        assert_eq!(cli.resolved_ids(), vec!["t2", "t5"]);
+    }
+
+    #[test]
+    fn numeric_flags_validate() {
+        assert!(parse(args(&["--jobs"])).is_err());
+        assert!(parse(args(&["--jobs", "many"])).is_err());
+        assert!(parse(args(&["--tolerance", "-3"])).is_err());
+    }
+
+    #[test]
+    fn jobs_zero_means_auto() {
+        let cli = parse(args(&["--jobs", "0"])).unwrap();
+        assert!(cli.effective_jobs() >= 1);
+    }
+
+    #[test]
+    fn usage_names_every_ablation() {
+        let u = usage();
+        for id in crate::extra_ids() {
+            assert!(u.contains(id), "{id} missing from usage");
+        }
+    }
+}

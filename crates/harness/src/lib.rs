@@ -9,14 +9,25 @@
 //! runs of everything), `Scale::quick()` a fast variant with the same
 //! shapes — and returns rendered tables/ASCII figures plus CSV series.
 //!
+//! Execution is a plan → execute → render pipeline: [`plan`] shards
+//! the experiment matrix into independent `Send` jobs, [`execute`]
+//! runs them — serially, or across host cores via the `tnt-runner`
+//! work-stealing pool (`--jobs N`) — and rendering happens on the main
+//! thread in canonical order, so parallel output is byte-identical to
+//! the serial path. Every experiment also emits a structured
+//! [`tnt_runner::ExperimentRecord`] for the golden-baseline store
+//! (`reproduce bless` / `reproduce check`).
+//!
 //! The `reproduce` binary drives this end to end:
 //!
 //! ```text
-//! cargo run --release -p tnt-harness --bin reproduce -- --quick all
+//! cargo run --release -p tnt-harness --bin reproduce -- --quick --jobs 8 all
 //! ```
 
 mod ablations;
+pub mod cli;
 mod experiments;
+mod plan;
 mod plot;
 mod profile;
 mod scale;
@@ -24,6 +35,7 @@ mod table;
 
 pub use ablations::{extra_ids, run_extra};
 pub use experiments::{all_ids, bonnie_figures, run_many, run_one, ExperimentOutput};
+pub use plan::{execute, plan, Cell, ExperimentPlan, ExperimentResult, PlanBody};
 pub use plot::{Figure, XScale};
 pub use profile::{
     profile_experiment, profile_ids, profile_one, ProfileOutput, ProfiledSample,

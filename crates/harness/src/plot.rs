@@ -1,6 +1,7 @@
 //! ASCII renderings of the paper's figures, plus CSV export.
 
-use tnt_sim::Series;
+use tnt_runner::StatLine;
+use tnt_sim::{Series, Summary};
 
 /// Axis scaling for the plot.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -88,6 +89,47 @@ impl Figure {
             out.push_str(&format!("   {} = {}\n", glyphs[si % glyphs.len()], s.label));
         }
         out
+    }
+
+    /// Extracts the machine-readable statistics: one [`StatLine`] per
+    /// series, in legend order. `mean` is the mean y value over the
+    /// curve, `sd_pct` its spread across the x sweep (how strongly the
+    /// curve varies, not run-to-run noise), and `norm` the ratio of
+    /// this curve's mean to the best (largest) one — a shape
+    /// fingerprint for the regression gate rather than a judgement of
+    /// which system wins.
+    pub fn stat_lines(&self) -> Vec<StatLine> {
+        let means: Vec<f64> = self
+            .series
+            .iter()
+            .map(|s| {
+                let ys: Vec<f64> = s.points.iter().map(|p| p.1).collect();
+                if ys.is_empty() {
+                    0.0
+                } else {
+                    Summary::of(&ys).mean
+                }
+            })
+            .collect();
+        let best = means.iter().copied().fold(0.0f64, f64::max).max(1e-12);
+        self.series
+            .iter()
+            .zip(&means)
+            .map(|(s, &mean)| {
+                let ys: Vec<f64> = s.points.iter().map(|p| p.1).collect();
+                let sd_pct = if ys.is_empty() {
+                    0.0
+                } else {
+                    Summary::of(&ys).sd_pct()
+                };
+                StatLine {
+                    label: s.label.clone(),
+                    mean,
+                    sd_pct,
+                    norm: mean / best,
+                }
+            })
+            .collect()
     }
 
     /// Serialises all series as CSV: `x,label1,label2,...` per x value.
@@ -179,6 +221,17 @@ mod tests {
         // Geometric midpoint lands mid-plot under log scaling.
         let mid = f.x_pos(11.3, 2.0, 64.0);
         assert!((mid as i64 - (WIDTH / 2) as i64).abs() < 3);
+    }
+
+    #[test]
+    fn stat_lines_fingerprint_the_curves() {
+        let stats = fig().stat_lines();
+        assert_eq!(stats.len(), 2);
+        assert_eq!(stats[0].label, "Linux");
+        assert!((stats[0].mean - 97.5).abs() < 1e-9);
+        assert!((stats[0].norm - 1.0).abs() < 1e-9, "Linux curve is best");
+        assert!((stats[1].mean - 80.0).abs() < 1e-9);
+        assert_eq!(stats[1].sd_pct, 0.0, "flat curve has no spread");
     }
 
     #[test]

@@ -4,6 +4,10 @@
 /// How big to run each experiment.
 #[derive(Clone, Debug)]
 pub struct Scale {
+    /// Name of this scale ("full", "quick", "smoke") — recorded in
+    /// `baselines.json` so `reproduce check` refuses to compare runs
+    /// made at different scales.
+    pub label: &'static str,
     /// Repetitions per measurement (the paper uses twenty).
     pub runs: u64,
     /// `getpid` iterations per run (paper: 100 000).
@@ -42,6 +46,7 @@ impl Scale {
     /// is deterministic) and it keeps the full sweep under five minutes.
     pub fn full() -> Scale {
         Scale {
+            label: "full",
             runs: 20,
             syscall_iters: 100_000,
             ctx_switches: 20_000,
@@ -62,6 +67,7 @@ impl Scale {
     /// A fast variant with the same shapes (fewer runs, less traffic).
     pub fn quick() -> Scale {
         Scale {
+            label: "quick",
             runs: 5,
             syscall_iters: 10_000,
             ctx_switches: 2_500,
@@ -82,6 +88,7 @@ impl Scale {
     /// A tiny smoke-test variant for unit tests.
     pub fn smoke() -> Scale {
         Scale {
+            label: "smoke",
             runs: 2,
             syscall_iters: 1_000,
             ctx_switches: 400,

@@ -1,6 +1,7 @@
 //! Paper-style table rendering: Time / Std Dev / Norm. columns, with the
 //! paper's own values alongside for comparison.
 
+use tnt_runner::StatLine;
 use tnt_sim::{normalize_higher_better, normalize_lower_better, Summary};
 
 /// Whether smaller or larger measured values are better (controls the
@@ -38,9 +39,13 @@ pub struct Table {
 }
 
 impl Table {
-    /// Renders the table as aligned ASCII, rows sorted best-first like
-    /// the paper's tables.
-    pub fn render(&self) -> String {
+    /// Rows sorted best-first (the paper's presentation order) with
+    /// their normalised ratios — the single source both [`render`] and
+    /// [`stat_lines`] draw from, so the record always matches the text.
+    ///
+    /// [`render`]: Table::render
+    /// [`stat_lines`]: Table::stat_lines
+    fn ranked(&self) -> (Vec<Row>, Vec<f64>) {
         let mut rows = self.rows.clone();
         match self.direction {
             Direction::LowerBetter => {
@@ -55,6 +60,28 @@ impl Table {
             Direction::LowerBetter => normalize_lower_better(&means),
             Direction::HigherBetter => normalize_higher_better(&means),
         };
+        (rows, norms)
+    }
+
+    /// Extracts the machine-readable statistics: one [`StatLine`] per
+    /// row, in rendered (best-first) order.
+    pub fn stat_lines(&self) -> Vec<StatLine> {
+        let (rows, norms) = self.ranked();
+        rows.iter()
+            .zip(norms)
+            .map(|(row, norm)| StatLine {
+                label: row.label.clone(),
+                mean: row.summary.mean,
+                sd_pct: row.summary.sd_pct(),
+                norm,
+            })
+            .collect()
+    }
+
+    /// Renders the table as aligned ASCII, rows sorted best-first like
+    /// the paper's tables.
+    pub fn render(&self) -> String {
+        let (rows, norms) = self.ranked();
         let paper: Vec<f64> = rows.iter().map(|r| r.paper).collect();
         let paper_norms = match self.direction {
             Direction::LowerBetter => normalize_lower_better(&paper),
@@ -164,6 +191,35 @@ mod tests {
         let s = t.render();
         assert!(s.find("Linux").unwrap() < s.find("Solaris").unwrap());
         assert!(s.contains("0.55"), "Solaris norm per Table 4:\n{s}");
+    }
+
+    #[test]
+    fn stat_lines_match_the_rendered_order_and_norms() {
+        let t = Table {
+            title: "TABLE 2. System Call".into(),
+            unit: "µs",
+            direction: Direction::LowerBetter,
+            rows: vec![
+                Row {
+                    label: "Solaris 2.4".into(),
+                    summary: summary(3.52),
+                    paper: 3.52,
+                },
+                Row {
+                    label: "Linux".into(),
+                    summary: summary(2.31),
+                    paper: 2.31,
+                },
+            ],
+        };
+        let stats = t.stat_lines();
+        assert_eq!(stats.len(), 2);
+        assert_eq!(stats[0].label, "Linux");
+        assert!((stats[0].norm - 1.0).abs() < 1e-9);
+        assert!((stats[1].norm - 2.31 / 3.52).abs() < 0.02);
+        assert!(stats[1].sd_pct > 0.0);
+        // The record and the text agree.
+        assert!(t.render().contains("Linux"));
     }
 
     #[test]

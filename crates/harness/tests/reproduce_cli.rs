@@ -1,0 +1,117 @@
+//! End-to-end tests of the `reproduce` binary: id listing, flag
+//! validation, and the bless → check regression-gate roundtrip.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn reproduce(args: &[&str], dir: &std::path::Path) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_reproduce"))
+        .args(args)
+        .current_dir(dir)
+        .output()
+        .expect("spawn reproduce")
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "tnt-reproduce-cli-{tag}-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir
+}
+
+#[test]
+fn list_prints_paper_experiments_and_ablations() {
+    let dir = temp_dir("list");
+    let out = reproduce(&["--list"], &dir);
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    let ids: Vec<&str> = stdout.lines().collect();
+    for id in ["t1", "t7", "f1", "f13", "x1", "x7"] {
+        assert!(ids.contains(&id), "--list missing {id}:\n{stdout}");
+    }
+    // Ablations come after the paper experiments.
+    let t1 = ids.iter().position(|i| *i == "t1").unwrap();
+    let x1 = ids.iter().position(|i| *i == "x1").unwrap();
+    assert!(t1 < x1, "ablations must follow paper experiments");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn unknown_flags_exit_with_usage_not_a_silent_run() {
+    let dir = temp_dir("flags");
+    let out = reproduce(&["--parallel", "t2"], &dir);
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("--parallel"), "names the flag:\n{stderr}");
+    assert!(stderr.contains("usage:"), "shows usage:\n{stderr}");
+    // Nothing ran, nothing was written.
+    assert!(out.stdout.is_empty());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn bless_then_check_roundtrip_passes_and_perturbation_fails() {
+    let dir = temp_dir("gate");
+    let res = dir.join("res");
+    let out_arg = res.to_str().unwrap();
+
+    let bless = reproduce(&["bless", "--out", out_arg, "t1", "t2", "t4"], &dir);
+    assert!(
+        bless.status.success(),
+        "bless failed:\n{}",
+        String::from_utf8_lossy(&bless.stderr)
+    );
+    let baselines = res.join("baselines.json");
+    assert!(baselines.exists(), "bless must write baselines.json");
+
+    // Same deterministic sim, same scale: the gate passes.
+    let check = reproduce(&["check", "--out", out_arg, "t1", "t2", "t4"], &dir);
+    assert!(
+        check.status.success(),
+        "fresh check failed:\n{}",
+        String::from_utf8_lossy(&check.stderr)
+    );
+    let stdout = String::from_utf8(check.stdout).unwrap();
+    assert!(stdout.contains("regression gate PASSED"), "{stdout}");
+
+    // Perturb one blessed mean by 20% — far past the 2% tolerance.
+    let text = std::fs::read_to_string(&baselines).unwrap();
+    let mut store = tnt_runner::BaselineStore::from_json(&text).unwrap();
+    let stat = store
+        .records
+        .iter_mut()
+        .find(|r| r.id == "t2")
+        .expect("t2 blessed")
+        .stats
+        .first_mut()
+        .expect("t2 has stats");
+    stat.mean *= 1.2;
+    std::fs::write(&baselines, store.to_json()).unwrap();
+
+    let drifted = reproduce(&["check", "--out", out_arg, "t1", "t2", "t4"], &dir);
+    assert!(!drifted.status.success(), "perturbed check must fail");
+    let stderr = String::from_utf8(drifted.stderr).unwrap();
+    assert!(
+        stderr.contains("regression gate FAILED"),
+        "loud failure:\n{stderr}"
+    );
+    assert!(stderr.contains("t2"), "failure names the experiment:\n{stderr}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn check_without_baselines_explains_itself() {
+    let dir = temp_dir("nobase");
+    let res = dir.join("res");
+    let out = reproduce(&["check", "--out", res.to_str().unwrap(), "t1"], &dir);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(
+        stderr.contains("reproduce bless"),
+        "points at bless:\n{stderr}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

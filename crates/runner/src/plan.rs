@@ -1,0 +1,88 @@
+//! The shard planner: longest-processing-time (LPT) assignment.
+//!
+//! Experiments publish cost hints (anything monotone in expected run
+//! time — simulated cycles, iteration counts). The planner sorts the
+//! shards by descending cost and greedily assigns each to the
+//! least-loaded worker, the classic LPT heuristic (≤ 4/3 of optimal
+//! makespan). The pool uses the result only as the *initial* deal —
+//! work stealing corrects any misestimate at run time — but starting
+//! balanced matters when one shard (Figure 1's big-N context-switch
+//! legs) dwarfs the rest.
+
+/// Assigns job indices to `workers` queues by descending cost hint.
+///
+/// Each returned queue is in descending-cost order, so workers start
+/// with their heaviest shard and thieves (who take from the back) get
+/// the lightest — the cheapest work to move.
+///
+/// # Panics
+///
+/// Panics if `workers` is zero.
+pub fn assign_lpt(costs: &[u64], workers: usize) -> Vec<Vec<usize>> {
+    assert!(workers > 0, "cannot plan for zero workers");
+    let mut order: Vec<usize> = (0..costs.len()).collect();
+    // Stable descending sort: ties keep submission order, which keeps
+    // the plan deterministic for equal-cost shards.
+    order.sort_by(|&a, &b| costs[b].cmp(&costs[a]).then(a.cmp(&b)));
+    let mut queues: Vec<Vec<usize>> = vec![Vec::new(); workers];
+    let mut loads: Vec<u64> = vec![0; workers];
+    for idx in order {
+        // Least-loaded worker, lowest worker id on ties.
+        let w = (0..workers).min_by_key(|&w| (loads[w], w)).unwrap();
+        loads[w] += costs[idx].max(1); // zero-cost shards still occupy a slot
+        queues[w].push(idx);
+    }
+    queues
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn covers_every_index_exactly_once() {
+        let costs: Vec<u64> = (0..37).map(|i| (i * 7 + 3) % 11).collect();
+        let queues = assign_lpt(&costs, 4);
+        let mut seen: Vec<usize> = queues.into_iter().flatten().collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..37).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn balances_a_skewed_load() {
+        // One giant shard plus many small ones: the giant must sit
+        // alone on its worker, the small ones spread over the rest.
+        let mut costs = vec![1000u64];
+        costs.extend(std::iter::repeat_n(10, 30));
+        let queues = assign_lpt(&costs, 4);
+        let giant_queue = queues.iter().find(|q| q.contains(&0)).unwrap();
+        assert_eq!(giant_queue.len(), 1, "giant shard runs alone: {queues:?}");
+        let loads: Vec<u64> = queues
+            .iter()
+            .map(|q| q.iter().map(|&i| costs[i]).sum())
+            .collect();
+        let small_max = loads.iter().filter(|&&l| l < 1000).max().unwrap();
+        let small_min = loads.iter().filter(|&&l| l < 1000).min().unwrap();
+        assert!(small_max - small_min <= 10, "balanced: {loads:?}");
+    }
+
+    #[test]
+    fn deterministic_for_equal_costs() {
+        let costs = vec![5u64; 12];
+        assert_eq!(assign_lpt(&costs, 3), assign_lpt(&costs, 3));
+        // Ties deal in submission order.
+        assert_eq!(assign_lpt(&costs, 3)[0], vec![0, 3, 6, 9]);
+    }
+
+    #[test]
+    fn more_workers_than_jobs() {
+        let queues = assign_lpt(&[7, 3], 5);
+        assert_eq!(queues.iter().map(Vec::len).sum::<usize>(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero workers")]
+    fn zero_workers_panics() {
+        assign_lpt(&[1], 0);
+    }
+}

@@ -1,0 +1,265 @@
+//! The work-stealing pool.
+//!
+//! All jobs are known up front (the experiment matrix is static), so
+//! the pool is a fork-join executor: the planner deals the jobs into
+//! per-worker deques, each worker pops from the front of its own deque
+//! and steals from the back of the others when it runs dry, and the
+//! whole set is done when every deque is empty. Because no job ever
+//! enqueues another, "every deque empty" is a monotone condition and
+//! workers can exit without a coordination round.
+//!
+//! Results land in per-job slots indexed by submission order, so the
+//! returned vector is deterministic regardless of which worker ran
+//! what — the ordered merge the harness's byte-identical guarantee
+//! rests on.
+
+use std::any::Any;
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use crate::plan::assign_lpt;
+
+/// A job's boxed closure: runs on an arbitrary pool thread exactly once.
+pub type Work<T> = Box<dyn FnOnce() -> T + Send + 'static>;
+
+/// One unit of work: a cost hint for the planner plus the closure.
+pub struct Job<T> {
+    /// Relative cost hint (any unit; only ordering matters).
+    pub cost: u64,
+    /// The work.
+    pub work: Work<T>,
+}
+
+impl<T> Job<T> {
+    /// Convenience constructor.
+    pub fn new(cost: u64, work: impl FnOnce() -> T + Send + 'static) -> Job<T> {
+        Job {
+            cost,
+            work: Box::new(work),
+        }
+    }
+}
+
+/// A job that panicked instead of returning.
+#[derive(Clone, Debug)]
+pub struct JobPanic {
+    /// Index of the job in the submitted set.
+    pub index: usize,
+    /// The panic payload, stringified.
+    pub message: String,
+}
+
+/// The outcome of one job: its value (or isolated panic) and how long
+/// it ran on its worker.
+pub struct JobOutcome<T> {
+    /// The job's return value, or the captured panic.
+    pub result: Result<T, JobPanic>,
+    /// Wall-clock execution time of this job alone.
+    pub elapsed: Duration,
+}
+
+fn panic_message(payload: Box<dyn Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_string()
+    }
+}
+
+fn run_job<T>(index: usize, work: Work<T>) -> JobOutcome<T> {
+    let start = Instant::now();
+    let result = catch_unwind(AssertUnwindSafe(work)).map_err(|payload| JobPanic {
+        index,
+        message: panic_message(payload),
+    });
+    JobOutcome {
+        result,
+        elapsed: start.elapsed(),
+    }
+}
+
+/// Runs every job and returns their outcomes **in submission order**.
+///
+/// `workers <= 1` (or a single job) runs inline on the calling thread,
+/// in order — the serial reference path. More workers run the jobs on
+/// `min(workers, jobs)` threads with work stealing; the merge back into
+/// submission order makes the two paths indistinguishable from the
+/// outside except for wall-clock time.
+pub fn run_ordered<T: Send + 'static>(jobs: Vec<Job<T>>, workers: usize) -> Vec<JobOutcome<T>> {
+    let n_jobs = jobs.len();
+    if workers <= 1 || n_jobs <= 1 {
+        return jobs
+            .into_iter()
+            .enumerate()
+            .map(|(i, job)| run_job(i, job.work))
+            .collect();
+    }
+    let n_workers = workers.min(n_jobs);
+    let costs: Vec<u64> = jobs.iter().map(|j| j.cost).collect();
+    let assignment = assign_lpt(&costs, n_workers);
+
+    // Job closures parked in per-index slots; a worker claims one by
+    // taking it out of its slot, so each runs exactly once.
+    let slots: Vec<Mutex<Option<Work<T>>>> = jobs
+        .into_iter()
+        .map(|j| Mutex::new(Some(j.work)))
+        .collect();
+    let deques: Vec<Mutex<VecDeque<usize>>> = assignment
+        .into_iter()
+        .map(|q| Mutex::new(q.into_iter().collect()))
+        .collect();
+    let results: Vec<Mutex<Option<JobOutcome<T>>>> =
+        (0..n_jobs).map(|_| Mutex::new(None)).collect();
+
+    std::thread::scope(|scope| {
+        for me in 0..n_workers {
+            let slots = &slots;
+            let deques = &deques;
+            let results = &results;
+            scope.spawn(move || loop {
+                // Own deque first (front = planner order), then steal
+                // from the back of the busiest-looking victim.
+                let mut next = deques[me].lock().unwrap().pop_front();
+                if next.is_none() {
+                    for offset in 1..n_workers {
+                        let victim = (me + offset) % n_workers;
+                        if let Some(idx) = deques[victim].lock().unwrap().pop_back() {
+                            next = Some(idx);
+                            break;
+                        }
+                    }
+                }
+                // No job set grows after submission, so an empty sweep
+                // means this worker is done for good.
+                let Some(idx) = next else { return };
+                let work = slots[idx]
+                    .lock()
+                    .unwrap()
+                    .take()
+                    .expect("job claimed twice");
+                let outcome = run_job(idx, work);
+                *results[idx].lock().unwrap() = Some(outcome);
+            });
+        }
+    });
+
+    results
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .unwrap()
+                .expect("worker exited with unfinished job")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn results_come_back_in_submission_order() {
+        // Costs are deliberately inverted so the planner reorders
+        // execution; the merge must undo that.
+        let jobs: Vec<Job<usize>> = (0..50)
+            .map(|i| Job::new(50 - i as u64, move || i * 3))
+            .collect();
+        for workers in [1, 2, 8] {
+            let out = run_ordered(
+                jobs.iter()
+                    .enumerate()
+                    .map(|(i, j)| Job::new(j.cost, move || i * 3))
+                    .collect(),
+                workers,
+            );
+            let values: Vec<usize> = out.into_iter().map(|o| o.result.unwrap()).collect();
+            assert_eq!(values, (0..50).map(|i| i * 3).collect::<Vec<_>>());
+        }
+        drop(jobs);
+    }
+
+    #[test]
+    fn every_job_runs_exactly_once() {
+        let counter = Arc::new(AtomicUsize::new(0));
+        let jobs: Vec<Job<()>> = (0..200)
+            .map(|_| {
+                let c = counter.clone();
+                Job::new(1, move || {
+                    c.fetch_add(1, Ordering::SeqCst);
+                })
+            })
+            .collect();
+        run_ordered(jobs, 8);
+        assert_eq!(counter.load(Ordering::SeqCst), 200);
+    }
+
+    #[test]
+    fn work_spreads_across_threads() {
+        // With more workers than needed the jobs still all run; on a
+        // multi-core host they run on several distinct threads. (On a
+        // single-core host the scheduler may serialise them — only
+        // assert the set is non-empty and the results correct.)
+        let jobs: Vec<Job<std::thread::ThreadId>> = (0..64)
+            .map(|_| {
+                Job::new(1, || {
+                    std::thread::sleep(Duration::from_millis(1));
+                    std::thread::current().id()
+                })
+            })
+            .collect();
+        let out = run_ordered(jobs, 4);
+        let tids: HashSet<_> = out.into_iter().map(|o| o.result.unwrap()).collect();
+        assert!(!tids.is_empty());
+    }
+
+    #[test]
+    fn a_panicking_job_is_isolated() {
+        let jobs: Vec<Job<u32>> = (0..10)
+            .map(|i| {
+                Job::new(1, move || {
+                    if i == 4 {
+                        panic!("job four exploded");
+                    }
+                    i
+                })
+            })
+            .collect();
+        let out = run_ordered(jobs, 4);
+        for (i, o) in out.iter().enumerate() {
+            match &o.result {
+                Ok(v) => {
+                    assert_ne!(i, 4);
+                    assert_eq!(*v, i as u32);
+                }
+                Err(p) => {
+                    assert_eq!(i, 4);
+                    assert_eq!(p.index, 4);
+                    assert!(p.message.contains("job four exploded"));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn serial_path_runs_inline() {
+        let tid = std::thread::current().id();
+        let out = run_ordered(vec![Job::new(1, move || std::thread::current().id())], 8);
+        assert_eq!(out[0].result.as_ref().unwrap(), &tid);
+    }
+
+    #[test]
+    fn elapsed_is_recorded() {
+        let out = run_ordered(
+            vec![Job::new(1, || std::thread::sleep(Duration::from_millis(5)))],
+            1,
+        );
+        assert!(out[0].elapsed >= Duration::from_millis(4));
+    }
+}

@@ -1,0 +1,92 @@
+//! Structured per-experiment results.
+//!
+//! Rendered tables and figures are for humans; an [`ExperimentRecord`]
+//! is the same result in machine-readable form — one [`StatLine`] per
+//! OS personality (or per curve) with the mean, the dispersion the
+//! paper insists on reporting, and the normalised ratio. The store
+//! persists these as `results/baselines.json` and the regression gate
+//! diffs fresh runs against them.
+
+/// One statistic line: an OS personality (or series) of one experiment.
+#[derive(Clone, Debug, PartialEq)]
+pub struct StatLine {
+    /// Row or curve label as rendered ("Linux", "FreeBSD libc", ...).
+    pub label: String,
+    /// Mean over the seeded runs (unit is the experiment's own).
+    pub mean: f64,
+    /// Sample standard deviation as a percentage of the mean — the
+    /// paper's "Std Dev" column.
+    pub sd_pct: f64,
+    /// Normalised ratio in (0, 1]: best system = 1.00, as in the
+    /// paper's "Norm." column. For figures, the ratio of series means.
+    pub norm: f64,
+}
+
+/// The structured result of one experiment.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ExperimentRecord {
+    /// Experiment id ("t2", "f9", "x1", ...).
+    pub id: String,
+    /// Paper title of the table/figure.
+    pub title: String,
+    /// Seeded runs per statistic.
+    pub runs: u64,
+    /// One line per OS personality / curve. Empty for configuration
+    /// or prose-only experiments (still gated on presence).
+    pub stats: Vec<StatLine>,
+    /// Wall-clock compute time of this experiment's shards, in
+    /// milliseconds, summed over shards (so it is comparable between
+    /// serial and parallel runs). **Not** serialised into baselines —
+    /// timing varies run to run, statistics must not.
+    pub wall_ms: f64,
+}
+
+impl ExperimentRecord {
+    /// A record with no statistics yet (filled by extraction helpers).
+    pub fn new(id: impl Into<String>, title: impl Into<String>, runs: u64) -> ExperimentRecord {
+        ExperimentRecord {
+            id: id.into(),
+            title: title.into(),
+            runs,
+            stats: Vec::new(),
+            wall_ms: 0.0,
+        }
+    }
+
+    /// Adds a statistic line (builder style).
+    pub fn with_stats(mut self, stats: Vec<StatLine>) -> ExperimentRecord {
+        self.stats = stats;
+        self
+    }
+
+    /// The stat line for `label`, if present.
+    pub fn stat(&self, label: &str) -> Option<&StatLine> {
+        self.stats.iter().find(|s| s.label == label)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_and_lookup() {
+        let rec = ExperimentRecord::new("t2", "TABLE 2. System Call", 20).with_stats(vec![
+            StatLine {
+                label: "Linux".into(),
+                mean: 2.31,
+                sd_pct: 0.5,
+                norm: 1.0,
+            },
+            StatLine {
+                label: "Solaris 2.4".into(),
+                mean: 3.52,
+                sd_pct: 0.8,
+                norm: 0.66,
+            },
+        ]);
+        assert_eq!(rec.stat("Linux").unwrap().mean, 2.31);
+        assert!(rec.stat("Plan9").is_none());
+        assert_eq!(rec.runs, 20);
+    }
+}

@@ -1,0 +1,414 @@
+//! The golden-baseline results store and regression gate.
+//!
+//! `reproduce bless` serialises the current run's [`ExperimentRecord`]s
+//! to `results/baselines.json`; `reproduce check` reruns the suite and
+//! diffs every statistic against the blessed file, failing loudly on:
+//!
+//! - a blessed experiment missing from the fresh run,
+//! - an experiment in the fresh run that was never blessed,
+//! - a stat line (OS personality / curve) appearing or disappearing,
+//! - a mean drifting further than the tolerance (relative %),
+//! - σ or the normalised ratio drifting further than the tolerance
+//!   (absolute percentage points),
+//! - the blessed file having been produced at a different scale.
+//!
+//! Serialisation is deterministic (see [`crate::json`]): blessing the
+//! same results twice yields byte-identical files, which is what lets
+//! the determinism tests compare `--jobs 1` and `--jobs 8` output as
+//! raw bytes. Wall-clock time is deliberately **not** stored.
+
+use crate::json::Value;
+use crate::record::{ExperimentRecord, StatLine};
+
+/// Format version of `baselines.json`.
+pub const STORE_VERSION: f64 = 1.0;
+
+/// A set of blessed (or freshly measured) experiment records.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BaselineStore {
+    /// Scale the records were produced at ("quick", "full", "smoke").
+    pub scale: String,
+    /// One record per experiment, in canonical suite order.
+    pub records: Vec<ExperimentRecord>,
+}
+
+/// One detected difference between a blessed store and a fresh run.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Drift {
+    /// The blessed and fresh stores were produced at different scales.
+    ScaleMismatch {
+        /// Scale recorded in the blessed file.
+        blessed: String,
+        /// Scale of the fresh run.
+        measured: String,
+    },
+    /// A blessed experiment did not appear in the fresh run.
+    MissingExperiment(String),
+    /// The fresh run produced an experiment that was never blessed.
+    UnexpectedExperiment(String),
+    /// A blessed stat line did not appear in the fresh experiment.
+    MissingStat {
+        /// Experiment id.
+        id: String,
+        /// Stat label.
+        label: String,
+    },
+    /// The fresh experiment grew a stat line that was never blessed.
+    UnexpectedStat {
+        /// Experiment id.
+        id: String,
+        /// Stat label.
+        label: String,
+    },
+    /// A statistic moved further than the tolerance.
+    StatDrift {
+        /// Experiment id.
+        id: String,
+        /// Stat label.
+        label: String,
+        /// Which statistic ("mean", "sd_pct", "norm").
+        what: &'static str,
+        /// Blessed value.
+        blessed: f64,
+        /// Fresh value.
+        measured: f64,
+        /// Drift as a percentage (relative for means, absolute
+        /// percentage points otherwise).
+        drift_pct: f64,
+    },
+}
+
+impl std::fmt::Display for Drift {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Drift::ScaleMismatch { blessed, measured } => write!(
+                f,
+                "scale mismatch: baselines were blessed at --{blessed}, this run is --{measured}"
+            ),
+            Drift::MissingExperiment(id) => {
+                write!(f, "{id}: blessed experiment missing from this run")
+            }
+            Drift::UnexpectedExperiment(id) => {
+                write!(f, "{id}: experiment not present in blessed baselines")
+            }
+            Drift::MissingStat { id, label } => {
+                write!(f, "{id}/{label}: blessed stat line missing from this run")
+            }
+            Drift::UnexpectedStat { id, label } => {
+                write!(f, "{id}/{label}: stat line not present in blessed baselines")
+            }
+            Drift::StatDrift {
+                id,
+                label,
+                what,
+                blessed,
+                measured,
+                drift_pct,
+            } => write!(
+                f,
+                "{id}/{label}: {what} drifted {drift_pct:.2}% (blessed {blessed:.6}, measured {measured:.6})"
+            ),
+        }
+    }
+}
+
+impl BaselineStore {
+    /// Serialises to deterministic, pretty-printed JSON.
+    pub fn to_json(&self) -> String {
+        let records = self
+            .records
+            .iter()
+            .map(|r| {
+                let stats = r
+                    .stats
+                    .iter()
+                    .map(|s| {
+                        Value::Obj(vec![
+                            ("label".into(), Value::Str(s.label.clone())),
+                            ("mean".into(), Value::Num(s.mean)),
+                            ("sd_pct".into(), Value::Num(s.sd_pct)),
+                            ("norm".into(), Value::Num(s.norm)),
+                        ])
+                    })
+                    .collect();
+                Value::Obj(vec![
+                    ("id".into(), Value::Str(r.id.clone())),
+                    ("title".into(), Value::Str(r.title.clone())),
+                    ("runs".into(), Value::Num(r.runs as f64)),
+                    ("stats".into(), Value::Arr(stats)),
+                ])
+            })
+            .collect();
+        Value::Obj(vec![
+            ("version".into(), Value::Num(STORE_VERSION)),
+            ("scale".into(), Value::Str(self.scale.clone())),
+            ("records".into(), Value::Arr(records)),
+        ])
+        .render()
+    }
+
+    /// Parses a store previously written by [`BaselineStore::to_json`].
+    pub fn from_json(text: &str) -> Result<BaselineStore, String> {
+        let doc = Value::parse(text)?;
+        let version = doc
+            .get("version")
+            .and_then(Value::as_f64)
+            .ok_or("missing version")?;
+        if version != STORE_VERSION {
+            return Err(format!("unsupported baselines version {version}"));
+        }
+        let scale = doc
+            .get("scale")
+            .and_then(Value::as_str)
+            .ok_or("missing scale")?
+            .to_string();
+        let mut records = Vec::new();
+        for rec in doc
+            .get("records")
+            .and_then(Value::as_arr)
+            .ok_or("missing records")?
+        {
+            let id = rec
+                .get("id")
+                .and_then(Value::as_str)
+                .ok_or("record missing id")?;
+            let title = rec
+                .get("title")
+                .and_then(Value::as_str)
+                .ok_or("record missing title")?;
+            let runs = rec
+                .get("runs")
+                .and_then(Value::as_f64)
+                .ok_or("record missing runs")? as u64;
+            let mut stats = Vec::new();
+            for s in rec
+                .get("stats")
+                .and_then(Value::as_arr)
+                .ok_or("record missing stats")?
+            {
+                stats.push(StatLine {
+                    label: s
+                        .get("label")
+                        .and_then(Value::as_str)
+                        .ok_or("stat missing label")?
+                        .to_string(),
+                    mean: s
+                        .get("mean")
+                        .and_then(Value::as_f64)
+                        .ok_or("stat missing mean")?,
+                    sd_pct: s
+                        .get("sd_pct")
+                        .and_then(Value::as_f64)
+                        .ok_or("stat missing sd_pct")?,
+                    norm: s
+                        .get("norm")
+                        .and_then(Value::as_f64)
+                        .ok_or("stat missing norm")?,
+                });
+            }
+            records.push(ExperimentRecord::new(id, title, runs).with_stats(stats));
+        }
+        Ok(BaselineStore { scale, records })
+    }
+
+    /// Diffs a fresh run (`current`) against this blessed store.
+    ///
+    /// `tolerance_pct` bounds the allowed drift: relative percent for
+    /// means, absolute percentage points for σ and the normalised
+    /// ratio (both already live on a percent-like scale). Returns every
+    /// drift found, empty when the gate passes.
+    pub fn compare(&self, current: &BaselineStore, tolerance_pct: f64) -> Vec<Drift> {
+        let mut drifts = Vec::new();
+        if self.scale != current.scale {
+            drifts.push(Drift::ScaleMismatch {
+                blessed: self.scale.clone(),
+                measured: current.scale.clone(),
+            });
+        }
+        for blessed in &self.records {
+            let Some(fresh) = current.records.iter().find(|r| r.id == blessed.id) else {
+                drifts.push(Drift::MissingExperiment(blessed.id.clone()));
+                continue;
+            };
+            for bs in &blessed.stats {
+                let Some(fs) = fresh.stat(&bs.label) else {
+                    drifts.push(Drift::MissingStat {
+                        id: blessed.id.clone(),
+                        label: bs.label.clone(),
+                    });
+                    continue;
+                };
+                // Mean: relative drift. A zero blessed mean falls back
+                // to absolute comparison against the tolerance itself.
+                let mean_drift = if bs.mean.abs() > f64::EPSILON {
+                    (fs.mean - bs.mean).abs() / bs.mean.abs() * 100.0
+                } else {
+                    (fs.mean - bs.mean).abs() * 100.0
+                };
+                if mean_drift > tolerance_pct {
+                    drifts.push(Drift::StatDrift {
+                        id: blessed.id.clone(),
+                        label: bs.label.clone(),
+                        what: "mean",
+                        blessed: bs.mean,
+                        measured: fs.mean,
+                        drift_pct: mean_drift,
+                    });
+                }
+                let sd_drift = (fs.sd_pct - bs.sd_pct).abs();
+                if sd_drift > tolerance_pct {
+                    drifts.push(Drift::StatDrift {
+                        id: blessed.id.clone(),
+                        label: bs.label.clone(),
+                        what: "sd_pct",
+                        blessed: bs.sd_pct,
+                        measured: fs.sd_pct,
+                        drift_pct: sd_drift,
+                    });
+                }
+                let norm_drift = (fs.norm - bs.norm).abs() * 100.0;
+                if norm_drift > tolerance_pct {
+                    drifts.push(Drift::StatDrift {
+                        id: blessed.id.clone(),
+                        label: bs.label.clone(),
+                        what: "norm",
+                        blessed: bs.norm,
+                        measured: fs.norm,
+                        drift_pct: norm_drift,
+                    });
+                }
+            }
+            for fs in &fresh.stats {
+                if blessed.stat(&fs.label).is_none() {
+                    drifts.push(Drift::UnexpectedStat {
+                        id: blessed.id.clone(),
+                        label: fs.label.clone(),
+                    });
+                }
+            }
+        }
+        for fresh in &current.records {
+            if !self.records.iter().any(|r| r.id == fresh.id) {
+                drifts.push(Drift::UnexpectedExperiment(fresh.id.clone()));
+            }
+        }
+        drifts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store() -> BaselineStore {
+        BaselineStore {
+            scale: "quick".into(),
+            records: vec![
+                ExperimentRecord::new("t2", "TABLE 2. System Call", 5).with_stats(vec![
+                    StatLine {
+                        label: "Linux".into(),
+                        mean: 2.31,
+                        sd_pct: 0.4,
+                        norm: 1.0,
+                    },
+                    StatLine {
+                        label: "Solaris 2.4".into(),
+                        mean: 3.52,
+                        sd_pct: 0.9,
+                        norm: 0.66,
+                    },
+                ]),
+                ExperimentRecord::new("t1", "TABLE 1. Disk Partitioning", 5),
+            ],
+        }
+    }
+
+    #[test]
+    fn json_round_trip_is_byte_identical() {
+        let s = store();
+        let text = s.to_json();
+        let back = BaselineStore::from_json(&text).unwrap();
+        assert_eq!(back, s);
+        assert_eq!(back.to_json(), text);
+    }
+
+    #[test]
+    fn identical_stores_pass_at_zero_tolerance() {
+        let s = store();
+        assert!(s.compare(&store(), 0.0).is_empty());
+    }
+
+    #[test]
+    fn perturbed_mean_fails_the_gate() {
+        let blessed = store();
+        let mut fresh = store();
+        fresh.records[0].stats[0].mean *= 1.10; // +10%
+        let drifts = blessed.compare(&fresh, 5.0);
+        assert_eq!(drifts.len(), 1);
+        match &drifts[0] {
+            Drift::StatDrift {
+                id, label, what, ..
+            } => {
+                assert_eq!(id, "t2");
+                assert_eq!(label, "Linux");
+                assert_eq!(*what, "mean");
+            }
+            other => panic!("unexpected drift {other:?}"),
+        }
+        // Within tolerance it passes.
+        assert!(blessed.compare(&fresh, 15.0).is_empty());
+    }
+
+    #[test]
+    fn missing_and_extra_experiments_are_loud() {
+        let blessed = store();
+        let mut fresh = store();
+        fresh.records.remove(1); // drop t1
+        fresh
+            .records
+            .push(ExperimentRecord::new("t9", "TABLE 9. Invented", 5));
+        let drifts = blessed.compare(&fresh, 100.0);
+        assert!(drifts.contains(&Drift::MissingExperiment("t1".into())));
+        assert!(drifts.contains(&Drift::UnexpectedExperiment("t9".into())));
+    }
+
+    #[test]
+    fn missing_and_extra_stat_lines_are_loud() {
+        let blessed = store();
+        let mut fresh = store();
+        fresh.records[0].stats[1].label = "FreeBSD".into();
+        let drifts = blessed.compare(&fresh, 100.0);
+        assert!(drifts.contains(&Drift::MissingStat {
+            id: "t2".into(),
+            label: "Solaris 2.4".into()
+        }));
+        assert!(drifts.contains(&Drift::UnexpectedStat {
+            id: "t2".into(),
+            label: "FreeBSD".into()
+        }));
+    }
+
+    #[test]
+    fn scale_mismatch_is_a_drift() {
+        let blessed = store();
+        let mut fresh = store();
+        fresh.scale = "full".into();
+        let drifts = blessed.compare(&fresh, 100.0);
+        assert!(matches!(drifts[0], Drift::ScaleMismatch { .. }));
+    }
+
+    #[test]
+    fn drift_display_is_readable() {
+        let d = Drift::StatDrift {
+            id: "t2".into(),
+            label: "Linux".into(),
+            what: "mean",
+            blessed: 2.31,
+            measured: 2.54,
+            drift_pct: 9.96,
+        };
+        let s = d.to_string();
+        assert!(s.contains("t2/Linux"), "{s}");
+        assert!(s.contains("9.96%"), "{s}");
+    }
+}
