@@ -1,0 +1,345 @@
+//! Line-level Rust lexer for the lint pass.
+//!
+//! The rules in [`crate::rules`] are substring checks, so the lexer's
+//! job is to make substring checks *sound*: it walks the source once,
+//! blanking out comment bodies and string/char-literal contents, and
+//! hands each rule a `code` view that contains only tokens the
+//! compiler would see. `"HashMap"` inside a string, `.unwrap()` inside
+//! a doc comment, and `Instant::now` inside a `/* ... */` block all
+//! disappear before any rule runs.
+//!
+//! Comment *text* is kept per line (it is where `audit:allow`
+//! annotations live), and a second pass marks lines inside
+//! `#[cfg(test)] mod { ... }` regions so test code is exempt from the
+//! production-only rules.
+
+/// One source line after lexing.
+#[derive(Debug, Clone)]
+pub struct Line {
+    /// 1-based line number.
+    pub number: usize,
+    /// The line with comments removed and string/char contents blanked
+    /// (quotes are kept so tokens do not merge across the gap).
+    pub code: String,
+    /// Concatenated comment text appearing on this line.
+    pub comment: String,
+    /// True when the line sits inside a `#[cfg(test)]`-gated module or
+    /// a `#[test]` function body.
+    pub in_test: bool,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum State {
+    Normal,
+    LineComment,
+    /// Rust block comments nest; the payload is the depth.
+    BlockComment(u32),
+    Str,
+    /// Raw string; payload is the number of `#` marks in the opener.
+    RawStr(u32),
+    CharLit,
+}
+
+/// Lexes a whole file into per-line code/comment views.
+pub fn lex(source: &str) -> Vec<Line> {
+    let mut lines = Vec::new();
+    let mut code = String::new();
+    let mut comment = String::new();
+    let mut number = 1usize;
+    let mut state = State::Normal;
+
+    let chars: Vec<char> = source.chars().collect();
+    let mut i = 0usize;
+    while i < chars.len() {
+        let c = chars[i];
+        if c == '\n' {
+            // A line comment dies at the newline; everything else
+            // (block comment, string) carries across.
+            if state == State::LineComment {
+                state = State::Normal;
+            }
+            lines.push(Line {
+                number,
+                code: std::mem::take(&mut code),
+                comment: std::mem::take(&mut comment),
+                in_test: false,
+            });
+            number += 1;
+            i += 1;
+            continue;
+        }
+        match state {
+            State::Normal => {
+                let next = chars.get(i + 1).copied();
+                match c {
+                    '/' if next == Some('/') => {
+                        state = State::LineComment;
+                        i += 2;
+                    }
+                    '/' if next == Some('*') => {
+                        state = State::BlockComment(1);
+                        i += 2;
+                    }
+                    '"' => {
+                        code.push('"');
+                        state = State::Str;
+                        i += 1;
+                    }
+                    'r' | 'b' if starts_raw_string(&chars, i) => {
+                        // r"..."/r#"..."#/br"..." — count the hashes.
+                        let mut j = i + 1;
+                        if chars.get(j) == Some(&'r') {
+                            j += 1; // the `br` prefix
+                        }
+                        let mut hashes = 0u32;
+                        while chars.get(j) == Some(&'#') {
+                            hashes += 1;
+                            j += 1;
+                        }
+                        code.push('"');
+                        state = State::RawStr(hashes);
+                        i = j + 1; // past the opening quote
+                    }
+                    'b' if next == Some('\'') => {
+                        code.push('\'');
+                        state = State::CharLit;
+                        i += 2;
+                    }
+                    '\'' => {
+                        if is_char_literal(&chars, i) {
+                            code.push('\'');
+                            state = State::CharLit;
+                        } else {
+                            // A lifetime: keep it, it is real code.
+                            code.push('\'');
+                        }
+                        i += 1;
+                    }
+                    _ => {
+                        code.push(c);
+                        i += 1;
+                    }
+                }
+            }
+            State::LineComment => {
+                comment.push(c);
+                i += 1;
+            }
+            State::BlockComment(depth) => {
+                let next = chars.get(i + 1).copied();
+                if c == '*' && next == Some('/') {
+                    state = if depth == 1 {
+                        State::Normal
+                    } else {
+                        State::BlockComment(depth - 1)
+                    };
+                    i += 2;
+                } else if c == '/' && next == Some('*') {
+                    state = State::BlockComment(depth + 1);
+                    i += 2;
+                } else {
+                    comment.push(c);
+                    i += 1;
+                }
+            }
+            State::Str => match c {
+                '\\' => i += 2, // skip the escaped char, whatever it is
+                '"' => {
+                    code.push('"');
+                    state = State::Normal;
+                    i += 1;
+                }
+                _ => i += 1,
+            },
+            State::RawStr(hashes) => {
+                if c == '"' && raw_string_closes(&chars, i, hashes) {
+                    code.push('"');
+                    state = State::Normal;
+                    i += 1 + hashes as usize;
+                } else {
+                    i += 1;
+                }
+            }
+            State::CharLit => match c {
+                '\\' => i += 2,
+                '\'' => {
+                    code.push('\'');
+                    state = State::Normal;
+                    i += 1;
+                }
+                _ => i += 1,
+            },
+        }
+    }
+    if !code.is_empty() || !comment.is_empty() {
+        lines.push(Line {
+            number,
+            code,
+            comment,
+            in_test: false,
+        });
+    }
+    mark_test_regions(&mut lines);
+    lines
+}
+
+/// Does `chars[i..]` start a raw (or raw-byte) string literal?
+fn starts_raw_string(chars: &[char], i: usize) -> bool {
+    // Reject identifiers ending in r/b (e.g. `var"..."` cannot occur,
+    // but `expr` followed by `"` can't either; the risk is `r` as the
+    // tail of an identifier like `tracer"...`). Guard on the previous
+    // char not being part of an identifier.
+    if i > 0 {
+        let prev = chars[i - 1];
+        if prev.is_alphanumeric() || prev == '_' {
+            return false;
+        }
+    }
+    let mut j = i + 1;
+    if chars[i] == 'b' {
+        if chars.get(j) != Some(&'r') {
+            return false;
+        }
+        j += 1;
+    }
+    while chars.get(j) == Some(&'#') {
+        j += 1;
+    }
+    chars.get(j) == Some(&'"')
+}
+
+/// Does the `"` at `chars[i]` close a raw string opened with `hashes`
+/// hash marks?
+fn raw_string_closes(chars: &[char], i: usize, hashes: u32) -> bool {
+    (1..=hashes as usize).all(|k| chars.get(i + k) == Some(&'#'))
+}
+
+/// Distinguishes `'a'` (char literal) from `'a` (lifetime) at the `'`
+/// found at `chars[i]`.
+fn is_char_literal(chars: &[char], i: usize) -> bool {
+    match chars.get(i + 1) {
+        // Escape sequence: always a char literal ('\n', '\'', '\\').
+        Some('\\') => true,
+        Some(c) if c.is_alphanumeric() || *c == '_' => {
+            // 'x' is a literal iff the very next char closes it;
+            // otherwise it is a lifetime ('static, 'a in generics).
+            chars.get(i + 2) == Some(&'\'')
+        }
+        // Punctuation or space: '(' , ' ' — char literal.
+        Some(_) => chars.get(i + 2) == Some(&'\''),
+        None => false,
+    }
+}
+
+/// Marks lines inside `#[cfg(test)] mod ... { }` blocks and `#[test]`
+/// function bodies, tracking brace depth over the *code* view (braces
+/// in strings and comments are already gone).
+fn mark_test_regions(lines: &mut [Line]) {
+    let mut depth = 0i64;
+    // Depth at which each active test region started; a region ends
+    // when the depth drops back to (or below) its start.
+    let mut regions: Vec<i64> = Vec::new();
+    let mut pending_attr = false;
+
+    for line in lines.iter_mut() {
+        let code = line.code.trim();
+        if code.contains("#[cfg(test)]") || code.contains("#[test]") {
+            pending_attr = true;
+        }
+        let opens_item = pending_attr
+            && (code.starts_with("mod ")
+                || code.contains(" mod ")
+                || code.starts_with("fn ")
+                || code.contains(" fn "));
+        if !regions.is_empty() {
+            line.in_test = true;
+        }
+        let mut region_opened = false;
+        for c in line.code.chars() {
+            match c {
+                '{' => {
+                    if opens_item && !region_opened {
+                        regions.push(depth);
+                        region_opened = true;
+                        pending_attr = false;
+                        line.in_test = true;
+                    }
+                    depth += 1;
+                }
+                '}' => {
+                    depth -= 1;
+                    while let Some(&start) = regions.last() {
+                        if depth <= start {
+                            regions.pop();
+                        } else {
+                            break;
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+        if region_opened {
+            line.in_test = true;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn code_of(src: &str) -> Vec<String> {
+        lex(src).into_iter().map(|l| l.code).collect()
+    }
+
+    #[test]
+    fn strips_line_comments_but_keeps_text() {
+        let lines = lex("let x = 1; // HashMap here\n");
+        assert!(!lines[0].code.contains("HashMap"));
+        assert!(lines[0].comment.contains("HashMap"));
+    }
+
+    #[test]
+    fn strips_string_contents() {
+        let c = code_of("let s = \"Instant::now inside\";\n");
+        assert!(!c[0].contains("Instant::now"));
+        assert!(c[0].contains('"'), "quotes kept as token boundary");
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        let c = code_of("let s = r#\"a \" .unwrap() \"# ; let y = 2;\n");
+        assert!(!c[0].contains("unwrap"));
+        assert!(c[0].contains("let y = 2"));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let c = code_of("a /* outer /* inner */ still comment */ b\n");
+        assert_eq!(c[0].replace(' ', ""), "ab");
+    }
+
+    #[test]
+    fn lifetimes_survive_char_literals_do_not() {
+        let c = code_of("fn f<'a>(x: &'a str) { let c = 'Z'; let d = '\\n'; }\n");
+        assert!(c[0].contains("<'a>"));
+        assert!(!c[0].contains('Z'), "char literal contents blanked: {}", c[0]);
+    }
+
+    #[test]
+    fn cfg_test_mod_marks_region() {
+        let src = "fn prod() {}\n#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); }\n}\nfn prod2() {}\n";
+        let lines = lex(src);
+        assert!(!lines[0].in_test);
+        assert!(lines[3].in_test, "body of test mod is test code");
+        assert!(!lines[5].in_test, "region closed");
+    }
+
+    #[test]
+    fn escaped_quote_in_string() {
+        let c = code_of("let s = \"a\\\"b HashMap\"; let t = 1;\n");
+        assert!(!c[0].contains("HashMap"));
+        assert!(c[0].contains("let t = 1"));
+    }
+}

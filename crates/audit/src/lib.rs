@@ -1,0 +1,30 @@
+#![warn(missing_docs)]
+
+//! tnt-audit: the workspace invariant checker.
+//!
+//! The repo's headline guarantees — parallel `reproduce` output is
+//! byte-identical to serial, and every simulated cycle is attributed —
+//! are invariants of the *code*, not of any single test. This crate is
+//! the static half of enforcing them: a hand-rolled, dependency-free
+//! lint pass (`cargo run -p tnt-audit -- lint`) tuned to this
+//! workspace's determinism rules. The dynamic half (lock-order graph,
+//! lost-wakeup detection, host-guard checks) lives in `tnt-sim` behind
+//! the `audit` feature, and the cycle-conservation audit in
+//! `tnt-trace` / `reproduce --audit`.
+//!
+//! Lint hits are silenced only by an inline annotation that carries
+//! its own justification:
+//!
+//! ```text
+//! // audit:allow(<rule>) <reason>
+//! ```
+//!
+//! The tool counts honoured annotations per rule and flags stale ones,
+//! so the allow list is itself auditable.
+
+pub mod lexer;
+pub mod rules;
+pub mod scan;
+
+pub use rules::Rule;
+pub use scan::{scan_root, scan_source, Finding, Report};

@@ -1,0 +1,71 @@
+//! The `tnt-audit` binary.
+//!
+//! ```text
+//! cargo run -p tnt-audit -- lint [--deny] [--root DIR]
+//! ```
+//!
+//! `lint` prints every rule violation plus a summary of honoured
+//! `audit:allow` annotations. With `--deny` any unsuppressed violation
+//! (the CI gate) exits nonzero; without it the run is advisory.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use tnt_audit::scan_root;
+
+fn usage() -> &'static str {
+    "usage: tnt-audit lint [--deny] [--root DIR]\n\
+     \n\
+     lint     scan crates/*/src for determinism-rule violations\n\
+     --deny   exit 1 on any violation not covered by audit:allow\n\
+     --root   workspace root to scan (default: current directory)"
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let Some(cmd) = args.next() else {
+        eprintln!("{}", usage());
+        return ExitCode::from(2);
+    };
+    if cmd == "--help" || cmd == "-h" {
+        println!("{}", usage());
+        return ExitCode::SUCCESS;
+    }
+    if cmd != "lint" {
+        eprintln!("tnt-audit: unknown command {cmd:?}\n{}", usage());
+        return ExitCode::from(2);
+    }
+    let mut deny = false;
+    let mut root = PathBuf::from(".");
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--deny" => deny = true,
+            "--root" => match args.next() {
+                Some(dir) => root = PathBuf::from(dir),
+                None => {
+                    eprintln!("tnt-audit: --root needs a directory\n{}", usage());
+                    return ExitCode::from(2);
+                }
+            },
+            other => {
+                eprintln!("tnt-audit: unknown flag {other:?}\n{}", usage());
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let report = match scan_root(&root) {
+        Ok(report) => report,
+        Err(err) => {
+            eprintln!("tnt-audit: scan failed: {err}");
+            return ExitCode::FAILURE;
+        }
+    };
+    print!("{}", report.render());
+    let violations = report.violations().len();
+    if deny && violations > 0 {
+        eprintln!("tnt-audit: --deny: {violations} violation(s)");
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,320 @@
+//! The workspace scanner: walks the source tree, runs every rule over
+//! the lexed view, and matches hits against `audit:allow` annotations.
+//!
+//! The annotation grammar is deliberately rigid:
+//!
+//! ```text
+//! // audit:allow(<rule-slug>) <reason>
+//! ```
+//!
+//! on the same line as the hit or the line directly above it. A bare
+//! `audit:allow(rule)` with no reason does *not* suppress — the reason
+//! is the audit trail. Annotations that suppress nothing are reported
+//! as stale so they cannot rot in place.
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::lexer::{lex, Line};
+use crate::rules::{must_use_cycles_hits, Rule};
+
+/// One rule hit, suppressed or not.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// Workspace-relative path (forward slashes).
+    pub file: String,
+    /// 1-based line of the hit.
+    pub line: usize,
+    /// Rule slug.
+    pub rule: &'static str,
+    /// Human explanation of the rule.
+    pub message: String,
+    /// The offending code line (trimmed).
+    pub code: String,
+    /// `Some(reason)` when an `audit:allow` annotation covers the hit.
+    pub allowed: Option<String>,
+}
+
+/// An `audit:allow` annotation parsed out of a comment.
+#[derive(Debug, Clone)]
+struct Allow {
+    line: usize,
+    rule: Rule,
+    reason: String,
+    used: std::cell::Cell<bool>,
+}
+
+/// The result of a full scan.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Every hit, allowed ones included, in (file, line) order.
+    pub findings: Vec<Finding>,
+    /// Number of files scanned.
+    pub files_scanned: usize,
+    /// Annotations that suppressed nothing: (file, line, slug).
+    pub stale_allows: Vec<(String, usize, String)>,
+}
+
+impl Report {
+    /// Hits not covered by an allow annotation.
+    pub fn violations(&self) -> Vec<&Finding> {
+        self.findings.iter().filter(|f| f.allowed.is_none()).collect()
+    }
+
+    /// Count of honoured allow annotations per rule slug.
+    pub fn allows_by_rule(&self) -> BTreeMap<&'static str, usize> {
+        let mut map = BTreeMap::new();
+        for f in &self.findings {
+            if f.allowed.is_some() {
+                *map.entry(f.rule).or_insert(0) += 1;
+            }
+        }
+        map
+    }
+
+    /// Renders the human report.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let violations = self.violations();
+        for f in &violations {
+            out.push_str(&format!(
+                "{}:{}: {}: {}\n    {}\n",
+                f.file, f.line, f.rule, f.message, f.code
+            ));
+        }
+        for (file, line, slug) in &self.stale_allows {
+            out.push_str(&format!(
+                "{file}:{line}: stale audit:allow({slug}) suppresses nothing (warning)\n"
+            ));
+        }
+        out.push_str(&format!(
+            "tnt-audit: {} file(s) scanned, {} violation(s), {} hit(s) allowed\n",
+            self.files_scanned,
+            violations.len(),
+            self.findings.len() - violations.len()
+        ));
+        let allows = self.allows_by_rule();
+        if !allows.is_empty() {
+            let detail: Vec<String> = allows
+                .iter()
+                .map(|(slug, n)| format!("{slug}: {n}"))
+                .collect();
+            out.push_str(&format!("allowed by rule: {}\n", detail.join(", ")));
+        }
+        out
+    }
+}
+
+/// Parses every `audit:allow(<slug>) <reason>` out of the lexed
+/// comment text.
+fn parse_allows(lines: &[Line]) -> Vec<Allow> {
+    let mut allows = Vec::new();
+    for line in lines {
+        let comment = &line.comment;
+        let Some(pos) = comment.find("audit:allow(") else {
+            continue;
+        };
+        let rest = &comment[pos + "audit:allow(".len()..];
+        let Some(close) = rest.find(')') else {
+            continue;
+        };
+        let slug = rest[..close].trim();
+        let reason = rest[close + 1..].trim().to_string();
+        if let Some(rule) = Rule::from_slug(slug) {
+            allows.push(Allow {
+                line: line.number,
+                rule,
+                reason,
+                used: std::cell::Cell::new(false),
+            });
+        }
+    }
+    allows
+}
+
+/// Finds the annotation covering a hit: same line first, then the line
+/// directly above.
+fn find_allow(allows: &[Allow], rule: Rule, line: usize) -> Option<&Allow> {
+    allows
+        .iter()
+        .find(|a| a.rule == rule && a.line == line)
+        .or_else(|| {
+            allows
+                .iter()
+                .find(|a| a.rule == rule && a.line + 1 == line)
+        })
+}
+
+/// Scans one file's source text. `path` must be workspace-relative
+/// with forward slashes (it drives rule scoping).
+pub fn scan_source(path: &str, source: &str) -> (Vec<Finding>, Vec<(usize, String)>) {
+    let lines = lex(source);
+    let allows = parse_allows(&lines);
+    let mut findings = Vec::new();
+
+    let mut record = |rule: Rule, number: usize, code: &str| {
+        let allowed = find_allow(&allows, rule, number).and_then(|a| {
+            if a.reason.is_empty() {
+                // A reason-less allow is ignored: the reason is the
+                // whole point of the annotation.
+                None
+            } else {
+                a.used.set(true);
+                Some(a.reason.clone())
+            }
+        });
+        findings.push(Finding {
+            file: path.to_string(),
+            line: number,
+            rule: rule.slug(),
+            message: rule.message().to_string(),
+            code: code.trim().to_string(),
+            allowed,
+        });
+    };
+
+    for line in &lines {
+        if line.in_test {
+            continue;
+        }
+        for rule in Rule::ALL {
+            if rule == Rule::MustUseCycles || !rule.applies_to(path) {
+                continue;
+            }
+            if rule.hits_line(&line.code) {
+                record(rule, line.number, &line.code);
+            }
+        }
+    }
+    if Rule::MustUseCycles.applies_to(path) {
+        for number in must_use_cycles_hits(&lines) {
+            let code = lines
+                .iter()
+                .find(|l| l.number == number)
+                .map(|l| l.code.clone())
+                .unwrap_or_default();
+            record(Rule::MustUseCycles, number, &code);
+        }
+    }
+
+    let stale = allows
+        .iter()
+        .filter(|a| !a.used.get() && !a.reason.is_empty())
+        .map(|a| (a.line, a.rule.slug().to_string()))
+        .collect();
+    (findings, stale)
+}
+
+/// Is this path part of the scanned surface? Vendored shims, build
+/// output, fixtures and integration-test trees are out of scope.
+fn scannable(rel: &str) -> bool {
+    if !rel.ends_with(".rs") {
+        return false;
+    }
+    let skip = ["vendor/", "target/", "/fixtures/", "/tests/"];
+    !skip.iter().any(|s| rel.contains(s) || rel.starts_with(s.trim_start_matches('/')))
+}
+
+fn walk(dir: &Path, files: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        if path.is_dir() {
+            let name = entry.file_name();
+            if name == "target" || name == "vendor" || name == ".git" {
+                continue;
+            }
+            walk(&path, files)?;
+        } else {
+            files.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Scans the workspace rooted at `root` (the directory holding the
+/// top-level `Cargo.toml`).
+pub fn scan_root(root: &Path) -> io::Result<Report> {
+    let mut files = Vec::new();
+    let crates = root.join("crates");
+    if crates.is_dir() {
+        walk(&crates, &mut files)?;
+    }
+    let src = root.join("src");
+    if src.is_dir() {
+        walk(&src, &mut files)?;
+    }
+
+    let mut rels: Vec<(String, PathBuf)> = files
+        .into_iter()
+        .filter_map(|p| {
+            let rel = p
+                .strip_prefix(root)
+                .ok()?
+                .to_string_lossy()
+                .replace('\\', "/");
+            scannable(&rel).then_some((rel, p))
+        })
+        .collect();
+    // Deterministic report order regardless of directory-entry order.
+    rels.sort();
+
+    let mut report = Report::default();
+    for (rel, path) in rels {
+        let source = fs::read_to_string(&path)?;
+        let (findings, stale) = scan_source(&rel, &source);
+        report.findings.extend(findings);
+        report
+            .stale_allows
+            .extend(stale.into_iter().map(|(l, s)| (rel.clone(), l, s)));
+        report.files_scanned += 1;
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allow_same_line_suppresses() {
+        let src = "use std::collections::HashMap; // audit:allow(hashmap-iter) keyed lookup only\n";
+        let (findings, stale) = scan_source("crates/net/src/net.rs", src);
+        assert_eq!(findings.len(), 1);
+        assert!(findings[0].allowed.is_some());
+        assert!(stale.is_empty());
+    }
+
+    #[test]
+    fn allow_line_above_suppresses() {
+        let src = "// audit:allow(wallclock) progress meter only\nlet t = Instant::now();\n";
+        let (findings, _) = scan_source("crates/harness/src/x.rs", src);
+        let wall: Vec<_> = findings.iter().filter(|f| f.rule == "wallclock").collect();
+        assert_eq!(wall.len(), 1);
+        assert!(wall[0].allowed.is_some());
+    }
+
+    #[test]
+    fn reasonless_allow_does_not_suppress() {
+        let src = "let t = Instant::now(); // audit:allow(wallclock)\n";
+        let (findings, _) = scan_source("crates/harness/src/x.rs", src);
+        assert!(findings.iter().any(|f| f.rule == "wallclock" && f.allowed.is_none()));
+    }
+
+    #[test]
+    fn stale_allow_reported() {
+        let src = "// audit:allow(unwrap) nothing here needs it\nlet x = 1;\n";
+        let (findings, stale) = scan_source("crates/sim/src/x.rs", src);
+        assert!(findings.is_empty());
+        assert_eq!(stale.len(), 1);
+    }
+
+    #[test]
+    fn test_code_is_exempt() {
+        let src = "#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); }\n}\n";
+        let (findings, _) = scan_source("crates/sim/src/x.rs", src);
+        assert!(findings.is_empty());
+    }
+}

@@ -1,0 +1,22 @@
+// Fixture for the float-eq rule.
+
+fn bare(x: f64) -> bool {
+    x == 0.5 // line 4: bare hit
+}
+
+fn allowed(v: f64) -> bool {
+    // audit:allow(float-eq) exact sentinel comparison by design
+    v != 1024.0 // line 9: allowed hit
+}
+
+fn immune(a: f64, n: u64) -> bool {
+    let s = "x == 0.5 in a string";
+    // a == 0.25 in a comment must not hit.
+    let ordered = a <= 0.5 && a >= 0.25; // ordering operators are fine
+    let ints = n == 0; // integer comparison is fine
+    let arm = match n {
+        _ => 0.0, // fat arrow is not a comparison
+    };
+    let _ = (s, arm);
+    ordered && ints
+}

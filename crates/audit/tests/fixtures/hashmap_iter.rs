@@ -1,0 +1,16 @@
+// Fixture for the hashmap-iter rule. Never compiled; scanned by
+// tests/lint_fixtures.rs with a fake workspace-relative path.
+
+use std::collections::HashMap; // line 4: bare hit
+
+// audit:allow(hashmap-iter) keyed lookup only, never iterated
+use std::collections::HashSet; // line 7: allowed hit
+
+// A HashMap mentioned in a comment must not hit.
+fn immune() {
+    let s = "HashMap in a string literal";
+    let r = r#"HashSet in a raw string"#;
+    let _ = (s, r);
+}
+
+struct MyHashMapLike; // line 15: word boundary, no hit

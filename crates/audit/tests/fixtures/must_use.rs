@@ -1,0 +1,36 @@
+// Fixture for the must-use-cycles rule.
+
+pub fn bare_charge() -> Cycles { // line 3: bare hit
+    Cycles(1)
+}
+
+#[must_use]
+pub fn annotated() -> Cycles { // attribute above: no hit
+    Cycles(2)
+}
+
+// audit:allow(must-use-cycles) legacy API frozen until the next major rev
+pub fn allowed_legacy() -> Cycles { // line 13: allowed hit
+    Cycles(3)
+}
+
+pub fn wrapped() -> Result<Cycles, ()> { // wrapped return: exempt
+    Ok(Cycles(4))
+}
+
+pub fn multi_line(
+    a: u64,
+    b: u64,
+) -> Cycles { // signature starts at line 21: hit reported there
+    Cycles(a + b)
+}
+
+fn private_fn() -> Cycles { // private: no hit
+    Cycles(5)
+}
+
+// "pub fn fake() -> Cycles" in a string must not hit:
+pub fn string_immunity() -> u64 {
+    let s = "pub fn fake() -> Cycles {";
+    s.len() as u64
+}

@@ -1,0 +1,29 @@
+// Fixture for the unwrap rule.
+
+fn bare(r: Result<u32, ()>) -> u32 {
+    r.unwrap() // line 4: bare hit
+}
+
+fn allowed(r: Result<u32, ()>) -> u32 {
+    // audit:allow(unwrap) invariant: caller checked is_ok above
+    r.unwrap() // line 9: allowed hit
+}
+
+fn reasonless(r: Result<u32, ()>) -> u32 {
+    r.unwrap() // audit:allow(unwrap)
+}
+
+fn immune() {
+    let s = ".unwrap() in a string";
+    // .unwrap() in a comment must not hit.
+    let _ = s;
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_is_exempt() {
+        let r: Result<u32, ()> = Ok(1);
+        r.unwrap(); // in_test: no hit
+    }
+}

@@ -1,0 +1,18 @@
+// Fixture for the wallclock rule.
+
+fn bare() {
+    let t = std::time::Instant::now(); // line 4: bare hit
+    let _ = t;
+}
+
+fn allowed() {
+    // audit:allow(wallclock) host-side progress meter, never simulated state
+    let t = std::time::SystemTime::now(); // line 10: allowed hit
+    let _ = t;
+}
+
+// Instant::now() in this comment must not hit.
+fn immune() {
+    let s = "Instant::now() in a string";
+    let _ = s;
+}

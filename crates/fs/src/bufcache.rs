@@ -8,7 +8,7 @@
 //! them in ascending disk order as clustered sequential transfers (the
 //! classic self-throttling write-behind of 1990s kernels).
 
-use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
@@ -42,8 +42,9 @@ struct Entry {
 
 struct CState {
     seq: u64,
-    /// addr (in 1 KB disk blocks, block-aligned) -> entry.
-    map: HashMap<u64, Entry>,
+    /// addr (in 1 KB disk blocks, block-aligned) -> entry. BTreeMap so
+    /// any future iteration is in address order, never hash order.
+    map: BTreeMap<u64, Entry>,
     /// LRU order: seq -> addr.
     order: BTreeMap<u64, u64>,
     dirty: BTreeSet<u64>,
@@ -68,7 +69,7 @@ impl BufferCache {
             params,
             state: Mutex::new(CState {
                 seq: 0,
-                map: HashMap::new(),
+                map: BTreeMap::new(),
                 order: BTreeMap::new(),
                 dirty: BTreeSet::new(),
                 hits: 0,

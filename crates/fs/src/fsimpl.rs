@@ -11,7 +11,7 @@
 //! File *contents* are not stored: the benchmarks only move byte counts,
 //! so an inode records its size and the disk address of each block.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use parking_lot::Mutex;
@@ -31,7 +31,9 @@ struct Inode {
     is_dir: bool,
     size: u64,
     nlink: u32,
-    children: HashMap<String, u64>,
+    // BTreeMap: crash_report and readdir iterate the namespace, so the
+    // order must be the key order, not a hash order.
+    children: BTreeMap<String, u64>,
     /// Disk address (1 KB units) of each filesystem block.
     blocks: Vec<u64>,
     /// Where the last sequential read ended (read-ahead heuristic).
@@ -44,7 +46,7 @@ impl Inode {
             is_dir: false,
             size: 0,
             nlink: 1,
-            children: HashMap::new(),
+            children: BTreeMap::new(),
             blocks: Vec::new(),
             last_seq_end: 0,
         }
@@ -55,7 +57,7 @@ impl Inode {
             is_dir: true,
             size: 0,
             nlink: 2,
-            children: HashMap::new(),
+            children: BTreeMap::new(),
             blocks: Vec::new(),
             last_seq_end: 0,
         }
@@ -63,7 +65,7 @@ impl Inode {
 }
 
 struct FsState {
-    inodes: HashMap<u64, Inode>,
+    inodes: BTreeMap<u64, Inode>,
     next_ino: u64,
     /// Data allocation cursor, 1 KB units.
     cursor_kb: u64,
@@ -107,7 +109,7 @@ impl SimFs {
     /// Creates a fresh (newly mkfs'ed) filesystem on `disk`.
     pub fn new(disk: Arc<Disk>, params: FsParams) -> Arc<SimFs> {
         let total = disk.params().total_blocks;
-        let mut inodes = HashMap::new();
+        let mut inodes = BTreeMap::new();
         inodes.insert(ROOT_INO, Inode::dir());
         Arc::new(SimFs {
             cache: BufferCache::new(disk, params.cache),

@@ -50,6 +50,8 @@ pub struct Cli {
     pub tolerance_pct: f64,
     /// Attach cycle-attribution profiles to each experiment.
     pub profile: bool,
+    /// Run the cycle-conservation audit after the suite.
+    pub audit: bool,
     /// Output directory for CSVs, baselines and bench artifacts.
     pub out_dir: PathBuf,
     /// Optional markdown report path.
@@ -63,13 +65,17 @@ pub struct Cli {
 pub fn usage() -> String {
     format!(
         "usage: reproduce [bless|check|bench] [--quick|--full] [--jobs N] \
-         [--tolerance PCT] [--profile] [--out DIR] [--markdown FILE] [ids...|all]\n\
+         [--tolerance PCT] [--profile] [--audit] [--out DIR] [--markdown FILE] [ids...|all]\n\
          \n\
          subcommands:\n\
          \x20 (none)   run the experiments and print each table/figure\n\
          \x20 bless    run, then write results/baselines.json (the golden baselines)\n\
          \x20 check    run, then fail loudly if any statistic drifted past --tolerance\n\
          \x20 bench    time the suite serially vs --jobs N; write BENCH_runner.json\n\
+         \n\
+         --audit runs the cycle-conservation audit after the suite: every\n\
+         profileable experiment is re-sampled under tracing and charged\n\
+         cycles must equal attributed cycles exactly.\n\
          \n\
          experiments: {}\n\
          ablations:   {}",
@@ -95,6 +101,7 @@ pub fn parse(args: Vec<String>) -> Result<Cli, String> {
         jobs: 1,
         tolerance_pct: 2.0,
         profile: false,
+        audit: false,
         out_dir: PathBuf::from("results"),
         markdown: None,
         ids: Vec::new(),
@@ -110,6 +117,7 @@ pub fn parse(args: Vec<String>) -> Result<Cli, String> {
             "--quick" => cli.scale = ScaleKind::Quick,
             "--full" => cli.scale = ScaleKind::Full,
             "--profile" => cli.profile = true,
+            "--audit" => cli.audit = true,
             "--jobs" | "-j" => cli.jobs = parse_number("--jobs", iter.next())?,
             "--tolerance" => cli.tolerance_pct = parse_number("--tolerance", iter.next())?,
             "--out" => {
@@ -210,6 +218,7 @@ mod tests {
             "8",
             "--tolerance",
             "1.5",
+            "--audit",
             "t2",
             "t5",
         ]))
@@ -218,6 +227,7 @@ mod tests {
         assert_eq!(cli.scale, ScaleKind::Full);
         assert_eq!(cli.jobs, 8);
         assert_eq!(cli.tolerance_pct, 1.5);
+        assert!(cli.audit);
         assert_eq!(cli.ids, vec!["t2", "t5"]);
         assert_eq!(cli.resolved_ids(), vec!["t2", "t5"]);
     }

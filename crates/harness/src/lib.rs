@@ -25,6 +25,7 @@
 //! ```
 
 mod ablations;
+mod audit;
 pub mod cli;
 mod experiments;
 mod plan;
@@ -34,6 +35,7 @@ mod scale;
 mod table;
 
 pub use ablations::{extra_ids, run_extra};
+pub use audit::{conservation_audit, AuditFinding, AuditReport};
 pub use experiments::{all_ids, bonnie_figures, run_many, run_one, ExperimentOutput};
 pub use plan::{execute, plan, Cell, ExperimentPlan, ExperimentResult, PlanBody};
 pub use plot::{Figure, XScale};

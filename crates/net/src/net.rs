@@ -8,6 +8,7 @@
 //! protocol stacks); Ethernet transmissions serialise on the shared wire
 //! at 10 Mb/s plus framing overhead.
 
+// audit:allow(hashmap-iter) port bindings are keyed lookup/insert/remove only, never iterated
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -58,6 +59,7 @@ type BindKey = (u32, u16, Proto);
 pub(crate) struct NetInner {
     pub hosts: Mutex<Vec<HostEntry>>,
     ether: Mutex<Ether>,
+    // audit:allow(hashmap-iter) keyed lookup only; results never depend on map order
     pub bindings: Mutex<HashMap<BindKey, Arc<dyn PortSink>>>,
 }
 
@@ -96,6 +98,7 @@ impl Net {
                     loss: 0.0,
                     dropped: 0,
                 }),
+                // audit:allow(hashmap-iter) see NetInner::bindings
                 bindings: Mutex::new(HashMap::new()),
             }),
         }
@@ -147,6 +150,7 @@ impl Net {
 
     /// Reserves wire time for a cross-host frame of `bytes` payload and
     /// returns its arrival instant. Loopback (same host) returns `now`.
+    #[must_use]
     pub(crate) fn transit(&self, env: &KEnv, from: u32, to: u32, bytes: u64) -> Cycles {
         let now = env.sim.now();
         if from == to {

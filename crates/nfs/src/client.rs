@@ -16,7 +16,7 @@
 //! - **attribute caching**: the FreeBSD client answers repeated stats
 //!   locally; the others go back to the server.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use parking_lot::Mutex;
@@ -104,15 +104,15 @@ struct CState {
     xid: u32,
     root: Fh,
     /// Directory name cache: absolute path -> handle.
-    dnlc: HashMap<String, Fh>,
+    dnlc: BTreeMap<String, Fh>,
     /// Attribute cache.
-    attrs: HashMap<Fh, FileAttr>,
+    attrs: BTreeMap<Fh, FileAttr>,
     /// Highest contiguously cached byte per file (client data cache).
-    data_hi: HashMap<Fh, u64>,
+    data_hi: BTreeMap<Fh, u64>,
     /// FIFO of files in the data cache (for budget eviction).
     data_order: Vec<Fh>,
     /// RPCs issued, by procedure name.
-    rpc_counts: HashMap<&'static str, u64>,
+    rpc_counts: BTreeMap<&'static str, u64>,
     /// Retransmissions performed (lost request or lost reply).
     retransmits: u64,
 }
@@ -144,11 +144,11 @@ impl NfsClient {
             state: Mutex::new(CState {
                 xid: 0,
                 root: 0,
-                dnlc: HashMap::new(),
-                attrs: HashMap::new(),
-                data_hi: HashMap::new(),
+                dnlc: BTreeMap::new(),
+                attrs: BTreeMap::new(),
+                data_hi: BTreeMap::new(),
                 data_order: Vec::new(),
-                rpc_counts: HashMap::new(),
+                rpc_counts: BTreeMap::new(),
                 retransmits: 0,
             }),
         });
@@ -161,7 +161,7 @@ impl NfsClient {
     }
 
     /// RPCs issued so far, by procedure name.
-    pub fn rpc_counts(&self) -> HashMap<&'static str, u64> {
+    pub fn rpc_counts(&self) -> BTreeMap<&'static str, u64> {
         self.state.lock().rpc_counts.clone()
     }
 

@@ -8,7 +8,7 @@
 //! Linux 1.2.8 server answers from its buffer cache and trusts its
 //! asynchronous update policy.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use parking_lot::Mutex;
@@ -78,7 +78,7 @@ type DupKey = (tnt_net::Addr, u32);
 
 struct ServerState {
     /// fh -> absolute path on the local filesystem.
-    paths: HashMap<Fh, String>,
+    paths: BTreeMap<Fh, String>,
     stats: ServerStats,
     /// Replays of retransmitted non-idempotent calls (REMOVE, CREATE)
     /// answer from here instead of re-executing — the classic NFS fix.
@@ -115,7 +115,7 @@ pub fn serve(
     let sock = UdpSocket::bind(net, kernel, host, NFS_PORT)?;
     let addr = sock.addr();
     let state = Arc::new(Mutex::new(ServerState {
-        paths: HashMap::new(),
+        paths: BTreeMap::new(),
         stats: ServerStats::default(),
         dup_cache: Vec::new(),
     }));

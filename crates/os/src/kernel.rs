@@ -11,7 +11,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use crate::costs::{Os, OsCosts};
 use crate::errno::{Errno, SysResult};
@@ -48,7 +48,7 @@ struct KernelInner {
     env: KEnv,
     tag: u32,
     tasks: Arc<AtomicUsize>,
-    procs: Mutex<HashMap<Pid, ProcEntry>>,
+    procs: Mutex<BTreeMap<Pid, ProcEntry>>,
     /// Per-machine counter bank (the simulation's tracer aggregates the
     /// same counters machine-wide; this one keeps `stats()` per kernel).
     counters: CounterSet,
@@ -125,7 +125,7 @@ impl Kernel {
                 },
                 tag,
                 tasks,
-                procs: Mutex::new(HashMap::new()),
+                procs: Mutex::new(BTreeMap::new()),
                 counters: CounterSet::new(),
                 mounts: Mutex::new(Vec::new()),
             }),
@@ -349,6 +349,7 @@ impl UProc {
 
     /// `getrusage(2)`-style self CPU time: cycles this process has been
     /// charged, including its share of kernel work done on its behalf.
+    #[must_use]
     pub fn rusage_self(&self) -> Cycles {
         self.charge_syscall();
         self.sim().proc_cpu(self.pid)

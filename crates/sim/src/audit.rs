@@ -1,0 +1,94 @@
+//! Dynamic audit helpers: the host-guard registry.
+//!
+//! The engine's locking discipline (see `crates/sim/src/engine.rs` and
+//! `SimMutex`) forbids holding a *host* mutex across a baton handoff:
+//! the owning thread parks while the contending simulated process
+//! blocks at the host level, invisible to the engine — a real deadlock
+//! that no simulated-deadlock detector can see. The rule used to live
+//! in a doc comment; [`HostGuard`] makes it checkable.
+//!
+//! Kernel models wrap their host-lock critical sections in a
+//! [`HostGuard`] token. The registry is a plain thread-local — each
+//! simulated process is its own thread, so "what does the current
+//! process hold" is exactly "what did this thread register". With the
+//! `audit` feature enabled (the default), the engine checks the
+//! registry at every baton handoff and fails the simulation loudly if
+//! anything is still held.
+//!
+//! ```
+//! use tnt_sim::{FifoPolicy, HostGuard, Sim, SimConfig};
+//!
+//! let sim = Sim::new(Box::new(FifoPolicy::new()), SimConfig::default());
+//! sim.spawn("ok", |s| {
+//!     {
+//!         let _g = HostGuard::new("demo.state");
+//!         // ... mutate host-locked state; no blocking calls here ...
+//!     } // guard dropped before the handoff below
+//!     s.yield_now();
+//! });
+//! sim.run().unwrap();
+//! ```
+
+use std::cell::RefCell;
+
+thread_local! {
+    /// Names of the host-lock sections the current thread is inside.
+    static HELD: RefCell<Vec<&'static str>> = const { RefCell::new(Vec::new()) };
+}
+
+/// RAII token registering "this thread is inside a host-lock critical
+/// section named `name`".
+///
+/// Create it right after taking a host `Mutex` guard and let both drop
+/// together at the end of the scope. The token is deliberately
+/// independent of the guard type so it works with any host lock
+/// (`parking_lot::Mutex`, `std::sync::Mutex`, ...).
+#[must_use = "the guard registers the critical section only while alive"]
+pub struct HostGuard {
+    name: &'static str,
+}
+
+impl HostGuard {
+    /// Registers a host-lock critical section.
+    pub fn new(name: &'static str) -> HostGuard {
+        HELD.with(|h| h.borrow_mut().push(name));
+        HostGuard { name }
+    }
+}
+
+impl Drop for HostGuard {
+    fn drop(&mut self) {
+        HELD.with(|h| {
+            let mut held = h.borrow_mut();
+            // Drop order may diverge from push order; remove the last
+            // occurrence of *this* name.
+            if let Some(pos) = held.iter().rposition(|n| *n == self.name) {
+                held.remove(pos);
+            }
+        });
+    }
+}
+
+/// The host-lock sections registered by the calling thread, innermost
+/// last. Used by the engine at baton handoffs.
+#[cfg_attr(not(feature = "audit"), allow(dead_code))]
+pub(crate) fn held_host_guards() -> Vec<&'static str> {
+    HELD.with(|h| h.borrow().clone())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_and_release() {
+        assert!(held_host_guards().is_empty());
+        let a = HostGuard::new("a");
+        let b = HostGuard::new("b");
+        assert_eq!(held_host_guards(), vec!["a", "b"]);
+        drop(a); // out-of-order drop
+        assert_eq!(held_host_guards(), vec!["b"]);
+        drop(b);
+        assert!(held_host_guards().is_empty());
+    }
+}

@@ -19,7 +19,10 @@
 
 use std::cell::Cell;
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap, VecDeque};
+// BTreeMap (not a hashed map) everywhere: engine state leaks into
+// outputs — the deadlock diagnostic iterates `procs` — and iteration
+// order must not depend on the hasher.
+use std::collections::{BTreeMap, BinaryHeap, VecDeque};
 use std::panic::{self, AssertUnwindSafe};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -167,11 +170,11 @@ struct State {
     now: Cycles,
     timer_seq: u64,
     timers: BinaryHeap<Reverse<(Cycles, u64, TimerAction)>>,
-    procs: HashMap<Tid, Proc>,
+    procs: BTreeMap<Tid, Proc>,
     policy: Box<dyn RunPolicy>,
     current: Option<Tid>,
     live: usize,
-    queues: HashMap<u64, VecDeque<Tid>>,
+    queues: BTreeMap<u64, VecDeque<Tid>>,
     rng: StdRng,
     run_factor: f64,
     next_tid: u32,
@@ -180,6 +183,68 @@ struct State {
     finished: bool,
     error: Option<SimError>,
     shutting_down: bool,
+    #[cfg(feature = "audit")]
+    audit: AuditState,
+}
+
+/// State of the dynamic invariant checkers (`audit` feature).
+#[cfg(feature = "audit")]
+#[derive(Default)]
+struct AuditState {
+    /// SimMutex queue ids currently held, per process, in acquisition
+    /// order.
+    held_locks: BTreeMap<Tid, Vec<u64>>,
+    /// Lock-order edges `a -> b` ("b was acquired while a was held"),
+    /// with the name of the process that first established each edge.
+    lock_edges: BTreeMap<u64, BTreeMap<u64, String>>,
+    /// Wait queues whose *most recent* signal found zero waiters, and
+    /// the simulated time of that signal. Cleared when a later signal
+    /// on the queue wakes someone.
+    empty_signals: BTreeMap<u64, Cycles>,
+}
+
+#[cfg(feature = "audit")]
+impl AuditState {
+    /// Is `to` reachable from `from` in the lock-order graph?
+    fn reaches(&self, from: u64, to: u64) -> bool {
+        let mut stack = vec![from];
+        let mut seen = std::collections::BTreeSet::new();
+        while let Some(n) = stack.pop() {
+            if n == to {
+                return true;
+            }
+            if !seen.insert(n) {
+                continue;
+            }
+            if let Some(nexts) = self.lock_edges.get(&n) {
+                stack.extend(nexts.keys().copied());
+            }
+        }
+        false
+    }
+
+    /// One witness path `from -> ... -> to`, for the violation report.
+    fn path(&self, from: u64, to: u64) -> Vec<u64> {
+        let mut stack = vec![vec![from]];
+        let mut seen = std::collections::BTreeSet::new();
+        while let Some(p) = stack.pop() {
+            let n = *p.last().expect("paths are never empty");
+            if n == to {
+                return p;
+            }
+            if !seen.insert(n) {
+                continue;
+            }
+            if let Some(nexts) = self.lock_edges.get(&n) {
+                for next in nexts.keys() {
+                    let mut q = p.clone();
+                    q.push(*next);
+                    stack.push(q);
+                }
+            }
+        }
+        vec![from, to]
+    }
 }
 
 struct Inner {
@@ -236,11 +301,11 @@ impl Sim {
             now: Cycles::ZERO,
             timer_seq: 0,
             timers: BinaryHeap::new(),
-            procs: HashMap::new(),
+            procs: BTreeMap::new(),
             policy,
             current: None,
             live: 0,
-            queues: HashMap::new(),
+            queues: BTreeMap::new(),
             rng,
             run_factor,
             next_tid: 1,
@@ -249,6 +314,8 @@ impl Sim {
             finished: false,
             error: None,
             shutting_down: false,
+            #[cfg(feature = "audit")]
+            audit: AuditState::default(),
         };
         let sim = Sim {
             inner: Arc::new(Inner {
@@ -428,6 +495,7 @@ impl Sim {
     }
 
     /// Current simulated time.
+    #[must_use]
     pub fn now(&self) -> Cycles {
         self.inner.state.lock().now
     }
@@ -636,7 +704,13 @@ impl Sim {
     /// whether a process was woken. Does not yield the baton.
     pub fn wakeup_one(&self, q: WaitId) -> bool {
         let mut st = self.inner.state.lock();
-        self.wake_from_queue_locked(&mut st, q.0)
+        let woke = self.wake_from_queue_locked(&mut st, q.0);
+        #[cfg(feature = "audit")]
+        if !woke {
+            let now = st.now;
+            st.audit.empty_signals.insert(q.0, now);
+        }
+        woke
     }
 
     /// Wakes every process on the queue. Returns how many were woken.
@@ -645,6 +719,11 @@ impl Sim {
         let mut n = 0;
         while self.wake_from_queue_locked(&mut st, q.0) {
             n += 1;
+        }
+        #[cfg(feature = "audit")]
+        if n == 0 {
+            let now = st.now;
+            st.audit.empty_signals.insert(q.0, now);
         }
         n
     }
@@ -688,6 +767,7 @@ impl Sim {
 
     /// Total CPU cycles charged while `tid` held the baton (its rusage).
     /// Returns zero for unknown tids.
+    #[must_use]
     pub fn proc_cpu(&self, tid: Tid) -> Cycles {
         self.inner
             .state
@@ -704,12 +784,112 @@ impl Sim {
     }
 
     // ------------------------------------------------------------------
+    // Dynamic audit hooks (SimMutex lock-order graph). No-ops without
+    // the `audit` feature.
+    // ------------------------------------------------------------------
+
+    /// Records that the current process is about to acquire the
+    /// SimMutex backed by wait queue `q`: every lock it already holds
+    /// gains an edge `held -> q` in the lock-order graph, and the
+    /// simulation fails loudly if the reverse order was ever observed —
+    /// the deadlock exists even if this run's interleaving dodges it.
+    pub(crate) fn audit_mutex_acquiring(&self, q: WaitId) {
+        #[cfg(feature = "audit")]
+        {
+            let Some(tid) = CURRENT.with(|c| c.get()) else {
+                return;
+            };
+            let mut st = self.inner.state.lock();
+            let name = st.procs[&tid].name.clone();
+            let held = st.audit.held_locks.get(&tid).cloned().unwrap_or_default();
+            for h in held {
+                let known = h == q.0
+                    || st
+                        .audit
+                        .lock_edges
+                        .get(&h)
+                        .is_some_and(|m| m.contains_key(&q.0));
+                if known {
+                    continue;
+                }
+                if st.audit.reaches(q.0, h) {
+                    let path = st.audit.path(q.0, h);
+                    let chain: Vec<String> =
+                        path.iter().map(|id| format!("mutex#{id}")).collect();
+                    drop(st);
+                    panic!(
+                        "audit: lock-order violation: process {name} acquires mutex#{} \
+                         while holding mutex#{h}, but the order {} is already \
+                         established; a deadlock is one interleaving away",
+                        q.0,
+                        chain.join(" -> "),
+                    );
+                }
+                st.audit
+                    .lock_edges
+                    .entry(h)
+                    .or_default()
+                    .insert(q.0, name.clone());
+            }
+        }
+        #[cfg(not(feature = "audit"))]
+        let _ = q;
+    }
+
+    /// Records that the current process now holds the SimMutex backed
+    /// by queue `q`.
+    pub(crate) fn audit_mutex_acquired(&self, q: WaitId) {
+        #[cfg(feature = "audit")]
+        {
+            let Some(tid) = CURRENT.with(|c| c.get()) else {
+                return;
+            };
+            let mut st = self.inner.state.lock();
+            st.audit.held_locks.entry(tid).or_default().push(q.0);
+        }
+        #[cfg(not(feature = "audit"))]
+        let _ = q;
+    }
+
+    /// Records that the current process released the SimMutex backed by
+    /// queue `q`.
+    pub(crate) fn audit_mutex_released(&self, q: WaitId) {
+        #[cfg(feature = "audit")]
+        {
+            let Some(tid) = CURRENT.with(|c| c.get()) else {
+                return;
+            };
+            let mut st = self.inner.state.lock();
+            if let Some(held) = st.audit.held_locks.get_mut(&tid) {
+                if let Some(pos) = held.iter().rposition(|id| *id == q.0) {
+                    held.remove(pos);
+                }
+            }
+        }
+        #[cfg(not(feature = "audit"))]
+        let _ = q;
+    }
+
+    // ------------------------------------------------------------------
     // Internals.
     // ------------------------------------------------------------------
 
     /// Marks the caller blocked (status must already be set), dispatches
     /// the next process, releases the lock, and parks until woken.
     fn block_current(&self, mut st: parking_lot::MutexGuard<'_, State>, tid: Tid) {
+        #[cfg(feature = "audit")]
+        {
+            let held = crate::audit::held_host_guards();
+            if !held.is_empty() {
+                let name = st.procs[&tid].name.clone();
+                drop(st);
+                panic!(
+                    "audit: host lock guard(s) {held:?} held across a baton handoff by \
+                     process {name}; host mutexes must be released before any blocking \
+                     call (use SimMutex for cross-block mutual exclusion)"
+                );
+            }
+        }
         st.procs
             .get_mut(&tid)
             .expect("current proc missing")
@@ -785,11 +965,15 @@ impl Sim {
             }
             st.finished = true;
             if st.live > 0 {
+                // `procs` is a BTreeMap, so this diagnostic is stable
+                // across runs (it used to vary with the hasher).
                 let blocked: Vec<String> = st
                     .procs
-                    .values()
-                    .filter_map(|p| match p.status {
-                        Status::Blocked(r) => Some(format!("{} ({r})", p.name)),
+                    .iter()
+                    .filter_map(|(tid, p)| match p.status {
+                        Status::Blocked(r) => {
+                            Some(format!("{} ({r}){}", p.name, lost_wakeup_hint(st, *tid)))
+                        }
                         _ => None,
                     })
                     .collect();
@@ -832,9 +1016,24 @@ impl Sim {
                 }
             }
             TimerAction::QueueOne(q) => {
-                self.wake_from_queue_locked(st, q);
+                let woke = self.wake_from_queue_locked(st, q);
+                #[cfg(feature = "audit")]
+                if !woke {
+                    st.audit.empty_signals.insert(q, st.now);
+                }
+                let _ = woke;
             }
-            TimerAction::QueueAll(q) => while self.wake_from_queue_locked(st, q) {},
+            TimerAction::QueueAll(q) => {
+                let mut n = 0;
+                while self.wake_from_queue_locked(st, q) {
+                    n += 1;
+                }
+                #[cfg(feature = "audit")]
+                if n == 0 {
+                    st.audit.empty_signals.insert(q, st.now);
+                }
+                let _ = n;
+            }
         }
     }
 
@@ -854,6 +1053,10 @@ impl Sim {
             proc.woken_by = Some(q);
             let tag = proc.tag;
             st.policy.enqueue(tid, tag);
+            // A delivered signal supersedes any earlier into-the-void
+            // signal on this queue.
+            #[cfg(feature = "audit")]
+            st.audit.empty_signals.remove(&q);
             return true;
         }
     }
@@ -893,6 +1096,31 @@ impl Sim {
             let _ = handle.join();
         }
     }
+}
+
+/// Builds the lost-wakeup diagnosis for a blocked process: names every
+/// queue it waits on whose most recent signal found zero waiters — the
+/// classic signal-before-wait race, surfaced at deadlock time.
+#[cfg(feature = "audit")]
+fn lost_wakeup_hint(st: &State, tid: Tid) -> String {
+    let mut hints = Vec::new();
+    for (q, waiters) in &st.queues {
+        if waiters.contains(&tid) {
+            if let Some(at) = st.audit.empty_signals.get(q) {
+                hints.push(format!(
+                    " [possible lost wakeup: queue {q} was last signalled at t={} with no \
+                     waiters]",
+                    at.0
+                ));
+            }
+        }
+    }
+    hints.concat()
+}
+
+#[cfg(not(feature = "audit"))]
+fn lost_wakeup_hint(_st: &State, _tid: Tid) -> String {
+    String::new()
 }
 
 fn current_tid() -> Tid {

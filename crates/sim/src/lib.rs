@@ -28,12 +28,14 @@
 //! assert_eq!(elapsed, Cycles(231));
 //! ```
 
+mod audit;
 mod engine;
 mod lock;
 mod policy;
 mod stats;
 mod time;
 
+pub use audit::HostGuard;
 pub use engine::{Sim, SimConfig, SimError, TraceSpan, WaitId};
 pub use lock::SimMutex;
 pub use policy::{DispatchEnv, FifoPolicy, Pick, RunPolicy, Tid};

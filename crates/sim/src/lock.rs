@@ -29,13 +29,20 @@ impl SimMutex {
 
     /// Acquires the lock, blocking the calling simulated process while
     /// another holds it.
+    ///
+    /// With the `audit` feature (default) the acquisition is recorded
+    /// in the engine's lock-order graph; establishing both `A -> B` and
+    /// `B -> A` orders across the run fails the simulation loudly even
+    /// when this particular interleaving happens not to deadlock.
     pub fn lock(&self, sim: &Sim) {
+        sim.audit_mutex_acquiring(self.waiters);
         // Processes run atomically between blocking calls, so this
         // check-then-set cannot race; the atomic is only for `Sync`.
         while self.held.load(Ordering::Relaxed) {
             sim.wait_on(self.waiters, "sim mutex");
         }
         self.held.store(true, Ordering::Relaxed);
+        sim.audit_mutex_acquired(self.waiters);
     }
 
     /// Releases the lock and wakes one waiter.
@@ -48,6 +55,7 @@ impl SimMutex {
             self.held.swap(false, Ordering::Relaxed),
             "unlock of an unheld SimMutex"
         );
+        sim.audit_mutex_released(self.waiters);
         sim.wakeup_one(self.waiters);
     }
 

@@ -1,0 +1,216 @@
+//! Integration tests for the dynamic audit checkers (`audit` feature,
+//! on by default): the SimMutex lock-order graph, the lost-wakeup
+//! diagnosis, and the host-guard-across-handoff detector.
+//!
+//! Each deliberate violation surfaces as `SimError::ProcPanic` (the
+//! checker panics inside the offending simulated process) or as an
+//! augmented `SimError::Deadlock` message, so the tests assert on the
+//! error text rather than on raw panics — except one `#[should_panic]`
+//! case that re-raises to prove the failure is loud.
+
+#![cfg(feature = "audit")]
+
+use std::sync::Arc;
+
+use tnt_sim::{Cycles, FifoPolicy, HostGuard, Sim, SimConfig, SimError, SimMutex};
+
+fn sim() -> Sim {
+    Sim::new(Box::new(FifoPolicy::new()), SimConfig::default())
+}
+
+#[test]
+fn lock_order_cycle_detected_without_deadlocking() {
+    // One process takes A then B; later another takes B then A. The
+    // interleaving is serial — no deadlock occurs — but the reversed
+    // order is a deadlock one interleaving away, and the graph sees it.
+    let s = sim();
+    let a = Arc::new(SimMutex::new(&s));
+    let b = Arc::new(SimMutex::new(&s));
+    let (a1, b1) = (a.clone(), b.clone());
+    s.spawn("forward", move |s| {
+        a1.lock(s);
+        b1.lock(s);
+        b1.unlock(s);
+        a1.unlock(s);
+    });
+    let (a2, b2) = (a.clone(), b.clone());
+    s.spawn("reversed", move |s| {
+        s.advance(Cycles(10));
+        b2.lock(s);
+        a2.lock(s); // trips: order a -> b already established
+        a2.unlock(s);
+        b2.unlock(s);
+    });
+    match s.run() {
+        Err(SimError::ProcPanic(msg)) => {
+            assert!(msg.contains("lock-order violation"), "got: {msg}");
+            assert!(msg.contains("reversed"), "names the process: {msg}");
+        }
+        other => panic!("expected lock-order panic, got {other:?}"),
+    }
+}
+
+#[test]
+fn ab_ba_interleaving_trips_before_the_deadlock() {
+    // The classic: p1 holds A and wants B, p2 holds B and wants A.
+    // The checker fires on p2's acquisition attempt — before the
+    // engine would have to diagnose an opaque deadlock.
+    let s = sim();
+    let a = Arc::new(SimMutex::new(&s));
+    let b = Arc::new(SimMutex::new(&s));
+    let (a1, b1) = (a.clone(), b.clone());
+    s.spawn("p1", move |s| {
+        a1.lock(s);
+        s.yield_now();
+        b1.lock(s);
+        b1.unlock(s);
+        a1.unlock(s);
+    });
+    let (a2, b2) = (a.clone(), b.clone());
+    s.spawn("p2", move |s| {
+        b2.lock(s);
+        s.yield_now();
+        a2.lock(s);
+        a2.unlock(s);
+        b2.unlock(s);
+    });
+    match s.run() {
+        Err(SimError::ProcPanic(msg)) => {
+            assert!(msg.contains("lock-order violation"), "got: {msg}");
+        }
+        other => panic!("expected lock-order panic, got {other:?}"),
+    }
+}
+
+#[test]
+#[should_panic(expected = "lock-order violation")]
+fn lock_order_violation_is_loud() {
+    let s = sim();
+    let a = Arc::new(SimMutex::new(&s));
+    let b = Arc::new(SimMutex::new(&s));
+    let (a1, b1) = (a.clone(), b.clone());
+    s.spawn("fwd", move |s| {
+        a1.lock(s);
+        b1.lock(s);
+        b1.unlock(s);
+        a1.unlock(s);
+    });
+    s.spawn("rev", move |s| {
+        s.advance(Cycles(1));
+        b.lock(s);
+        a.lock(s);
+        a.unlock(s);
+        b.unlock(s);
+    });
+    if let Err(e) = s.run() {
+        panic!("{e}");
+    }
+}
+
+#[test]
+fn consistent_lock_order_is_fine() {
+    // Many processes, same order, contention and blocking inside the
+    // sections: the graph stays acyclic and the run completes.
+    let s = sim();
+    let a = Arc::new(SimMutex::new(&s));
+    let b = Arc::new(SimMutex::new(&s));
+    for i in 0..4 {
+        let (a, b) = (a.clone(), b.clone());
+        s.spawn(format!("p{i}"), move |s| {
+            for _ in 0..3 {
+                a.lock(s);
+                b.lock(s);
+                s.sleep(Cycles(100));
+                b.unlock(s);
+                a.unlock(s);
+                s.yield_now();
+            }
+        });
+    }
+    s.run().expect("consistent order must not trip the checker");
+}
+
+#[test]
+fn lost_wakeup_is_diagnosed_at_deadlock() {
+    // Signal-before-wait: the waker signals an empty queue and exits;
+    // the waiter blocks afterwards and waits forever. The deadlock
+    // report must point at the into-the-void signal.
+    let s = sim();
+    let q = s.new_queue();
+    s.spawn("waker", move |s| {
+        s.advance(Cycles(5));
+        let woke = s.wakeup_one(q); // nobody is waiting yet
+        assert!(!woke);
+    });
+    s.spawn("waiter", move |s| {
+        s.advance(Cycles(50));
+        s.wait_on(q, "condition"); // too late: the signal is gone
+    });
+    match s.run() {
+        Err(SimError::Deadlock(msg)) => {
+            assert!(msg.contains("waiter"), "got: {msg}");
+            assert!(msg.contains("possible lost wakeup"), "got: {msg}");
+            assert!(msg.contains("t=5"), "names the signal time: {msg}");
+        }
+        other => panic!("expected deadlock with lost-wakeup hint, got {other:?}"),
+    }
+}
+
+#[test]
+fn delivered_signal_clears_the_lost_wakeup_record() {
+    // An early empty signal followed by a later, delivered one must not
+    // smear the diagnosis onto an unrelated deadlock.
+    let s = sim();
+    let q = s.new_queue();
+    let dead = s.new_queue();
+    s.spawn("waker", move |s| {
+        s.wakeup_one(q); // empty signal at t=0
+        s.sleep(Cycles(100));
+        s.wakeup_one(q); // delivered: the waiter is blocked by now
+    });
+    s.spawn("waiter", move |s| {
+        s.advance(Cycles(10));
+        s.wait_on(q, "first wait"); // woken by the delivered signal
+        s.wait_on(dead, "second wait"); // deadlocks, but q is not to blame
+    });
+    match s.run() {
+        Err(SimError::Deadlock(msg)) => {
+            assert!(
+                !msg.contains("possible lost wakeup"),
+                "stale hint survived: {msg}"
+            );
+        }
+        other => panic!("expected plain deadlock, got {other:?}"),
+    }
+}
+
+#[test]
+fn host_guard_across_handoff_trips() {
+    let s = sim();
+    s.spawn("offender", |s| {
+        let _g = HostGuard::new("test.state");
+        s.yield_now(); // handoff with the guard alive
+    });
+    match s.run() {
+        Err(SimError::ProcPanic(msg)) => {
+            assert!(msg.contains("baton handoff"), "got: {msg}");
+            assert!(msg.contains("test.state"), "names the guard: {msg}");
+            assert!(msg.contains("offender"), "names the process: {msg}");
+        }
+        other => panic!("expected host-guard panic, got {other:?}"),
+    }
+}
+
+#[test]
+fn host_guard_released_before_handoff_is_fine() {
+    let s = sim();
+    s.spawn("disciplined", |s| {
+        {
+            let _g = HostGuard::new("test.state");
+            s.advance(Cycles(10)); // advancing is not a handoff
+        }
+        s.yield_now();
+        s.sleep(Cycles(100));
+    });
+    s.run().expect("released guard must not trip the checker");
+}

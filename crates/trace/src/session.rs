@@ -75,6 +75,40 @@ impl SessionReport {
         self.counters[c as usize]
     }
 
+    /// Checks cycle conservation: with tracing enabled, the simulated
+    /// clock only moves through `Charge`, `Dispatch` and `Idle` events,
+    /// every one of which the tracer attributes to a class — so the
+    /// attributed total must equal the elapsed total *exactly*, and the
+    /// per-class breakdown must sum back to it. A mismatch means a
+    /// clock-advance path escaped instrumentation (cycles charged but
+    /// never attributed, or attributed twice) and the profiler's
+    /// percentages can no longer be trusted.
+    ///
+    /// Returns `Ok(())` when both legs hold, or a message naming the
+    /// drift.
+    pub fn conservation(&self) -> Result<(), String> {
+        if self.attributed != self.elapsed {
+            return Err(format!(
+                "attributed {} cycles != elapsed {} (drift {:+}): a clock-advance path \
+                 escaped instrumentation",
+                self.attributed,
+                self.elapsed,
+                self.attributed as i128 - self.elapsed as i128
+            ));
+        }
+        let class_sum: u64 = self.class_cycles.values().sum();
+        if class_sum != self.attributed {
+            return Err(format!(
+                "per-class cycles sum to {} but {} were attributed (drift {:+}): \
+                 attribution lost or double-counted cycles",
+                class_sum,
+                self.attributed,
+                class_sum as i128 - self.attributed as i128
+            ));
+        }
+        Ok(())
+    }
+
     /// Folded stacks rendered one per line for flame-graph tooling.
     pub fn folded_text(&self) -> String {
         let mut out = String::new();
@@ -256,6 +290,59 @@ mod tests {
         let rendered = report.render("test");
         assert!(rendered.contains("protocol cpu"), "{rendered}");
         assert!(rendered.contains("tcp segments=2"), "{rendered}");
+    }
+
+    #[test]
+    fn conservation_holds_for_published_tracers() {
+        let ((), report) = run(1024, || {
+            let tr = Tracer::new();
+            tr.enable(ring_capacity());
+            tr.record(Event {
+                t: 0,
+                pid: 1,
+                kind: EventKind::Enter(Class::TrapEntry),
+            });
+            tr.record(Event {
+                t: 7,
+                pid: 1,
+                kind: EventKind::Charge { cy: 7 },
+            });
+            tr.record(Event {
+                t: 9,
+                pid: 1,
+                kind: EventKind::Dispatch { cy: 2 },
+            });
+            tr.record(Event {
+                t: 14,
+                pid: 0,
+                kind: EventKind::Idle { cy: 5 },
+            });
+            publish(&tr, 14);
+        });
+        report.conservation().expect("conservation must hold");
+    }
+
+    #[test]
+    fn conservation_catches_unattributed_and_lost_cycles() {
+        // Elapsed moved without a matching Charge event: leg one fails.
+        let mut r = SessionReport {
+            elapsed: 100,
+            attributed: 90,
+            ..SessionReport::default()
+        };
+        r.class_cycles.insert((Class::User, "p".into()), 90);
+        let err = r.conservation().unwrap_err();
+        assert!(err.contains("escaped instrumentation"), "{err}");
+
+        // Attributed total and per-class breakdown disagree: leg two.
+        let mut r = SessionReport {
+            elapsed: 100,
+            attributed: 100,
+            ..SessionReport::default()
+        };
+        r.class_cycles.insert((Class::User, "p".into()), 60);
+        let err = r.conservation().unwrap_err();
+        assert!(err.contains("double-counted"), "{err}");
     }
 
     #[test]
