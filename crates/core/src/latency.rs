@@ -8,9 +8,10 @@ use std::sync::Arc;
 
 use crate::machine::{run_bare, timed, ResultSlot};
 use tnt_fs::SimFs;
-use tnt_net::{connect, Addr, Net, TcpListener, UdpSocket};
+use tnt_net::{connect, Addr, Net, Recv, TcpListener, UdpSocket};
 use tnt_nfs::{serve, NfsCall, NfsReply, NfsServerConfig};
 use tnt_os::{boot_cluster, Os, UProc};
+use tnt_sim::Cycles;
 
 /// lmbench `lat_pipe`: one byte bounced between two processes through a
 /// pair of pipes. Returns µs per round trip.
@@ -128,7 +129,18 @@ pub fn lat_rpc_us(client_os: Os, server_os: Os, round_trips: u32, seed: u64) -> 
                     call: NfsCall::Null,
                 };
                 sock.send_to(server_addr, req.encode()).unwrap();
-                let pkt = sock.recv().unwrap().unwrap();
+                // A bare recv() would hang forever if the fault plane
+                // eats the request or the reply; retransmit with the
+                // same xid so the server's dup cache keeps it one call.
+                let pkt = loop {
+                    match sock.recv_timeout(Cycles::from_millis(700.0)).unwrap() {
+                        Recv::Packet(pkt) => break pkt,
+                        Recv::TimedOut => {
+                            sock.send_to(server_addr, req.encode()).unwrap();
+                        }
+                        Recv::Closed => panic!("rpc socket closed mid-benchmark"),
+                    }
+                };
                 let reply = tnt_nfs::RpcReply::decode(&pkt.data).unwrap();
                 assert_eq!(reply.reply, NfsReply::Ok);
             }

@@ -14,7 +14,7 @@ use std::sync::Arc;
 use parking_lot::Mutex;
 
 use crate::disk::{Disk, IoKind};
-use tnt_os::KEnv;
+use tnt_os::{KEnv, SysResult};
 use tnt_sim::trace::{Class, Counter};
 use tnt_sim::Cycles;
 
@@ -162,8 +162,9 @@ impl BufferCache {
 
     /// Reads the cache block at `addr` (1 KB-block address, aligned to the
     /// cache block size). On a miss, reads `1 + readahead` consecutive
-    /// blocks from disk in one command. Returns whether it hit.
-    pub fn read(&self, env: &KEnv, addr: u64, readahead: u64) -> bool {
+    /// blocks from disk in one command. Returns whether it hit, or the
+    /// disk's error if a miss's transfer failed past the retry budget.
+    pub fn read(&self, env: &KEnv, addr: u64, readahead: u64) -> SysResult<bool> {
         {
             let _s = env.sim.span(Class::FsCpu);
             env.sim.charge(Cycles(self.params.per_block_cpu_cy));
@@ -195,10 +196,10 @@ impl BufferCache {
             1,
         );
         if !hit {
-            self.write_runs(env, &write_out);
-            self.disk.io(env, IoKind::Read, addr, (1 + readahead) * bs);
+            self.write_runs(env, &write_out)?;
+            self.disk.io(env, IoKind::Read, addr, (1 + readahead) * bs)?;
         }
-        hit
+        Ok(hit)
     }
 
     /// Writes the cache block at `addr`.
@@ -207,7 +208,11 @@ impl BufferCache {
     /// Delayed writes accumulate; once the dirty high-water mark is hit,
     /// the caller flushes down to half the mark, paying the disk time —
     /// this is where sequential-write benchmarks become disk bound.
-    pub fn write(&self, env: &KEnv, addr: u64, sync: bool) {
+    ///
+    /// Errors surface only from the disk commands a write triggers (sync
+    /// writes, evictions, high-water flushes); the block itself is cached
+    /// before any of those run.
+    pub fn write(&self, env: &KEnv, addr: u64, sync: bool) -> SysResult<()> {
         {
             let _s = env.sim.span(Class::FsCpu);
             env.sim.charge(Cycles(self.params.per_block_cpu_cy));
@@ -223,34 +228,34 @@ impl BufferCache {
             Self::insert(&mut st, addr, !sync);
             victims
         };
-        self.write_runs(env, &write_out);
+        self.write_runs(env, &write_out)?;
         if sync {
-            self.disk.io(env, IoKind::Write, addr, bs);
-            return;
+            return self.disk.io(env, IoKind::Write, addr, bs);
         }
         let hiwater_blocks = self.params.dirty_hiwater_bytes / self.params.block_bytes;
         let need_flush = self.state.lock().dirty.len() as u64 > hiwater_blocks;
         if need_flush {
-            self.flush_down_to(env, hiwater_blocks / 2);
+            self.flush_down_to(env, hiwater_blocks / 2)?;
         }
+        Ok(())
     }
 
     /// Flushes dirty blocks (ascending disk order, clustered) until at
     /// most `target_blocks` remain dirty.
-    fn flush_down_to(&self, env: &KEnv, target_blocks: u64) {
+    fn flush_down_to(&self, env: &KEnv, target_blocks: u64) -> SysResult<()> {
         loop {
             let run = {
                 let mut st = self.state.lock();
                 if st.dirty.len() as u64 <= target_blocks {
-                    return;
+                    return Ok(());
                 }
                 self.take_run(&mut st)
             };
             match run {
-                None => return,
+                None => return Ok(()),
                 Some((addr, nblocks)) => {
                     self.disk
-                        .io(env, IoKind::Write, addr, nblocks * self.bs_kb());
+                        .io(env, IoKind::Write, addr, nblocks * self.bs_kb())?;
                 }
             }
         }
@@ -279,9 +284,9 @@ impl BufferCache {
     /// Writes evicted dirty victims back, merging contiguous blocks into
     /// clustered commands (sequential workloads evict in address order,
     /// so this behaves like the elevator it models).
-    fn write_runs(&self, env: &KEnv, victims: &[u64]) {
+    fn write_runs(&self, env: &KEnv, victims: &[u64]) -> SysResult<()> {
         if victims.is_empty() {
-            return;
+            return Ok(());
         }
         let bs = self.bs_kb();
         let mut sorted = victims.to_vec();
@@ -292,17 +297,17 @@ impl BufferCache {
             if addr == start + len * bs && len < self.params.write_cluster_blocks {
                 len += 1;
             } else {
-                self.disk.io(env, IoKind::Write, start, len * bs);
+                self.disk.io(env, IoKind::Write, start, len * bs)?;
                 start = addr;
                 len = 1;
             }
         }
-        self.disk.io(env, IoKind::Write, start, len * bs);
+        self.disk.io(env, IoKind::Write, start, len * bs)
     }
 
     /// Writes out every dirty block (the `sync`/fresh-filesystem path).
-    pub fn flush_all(&self, env: &KEnv) {
-        self.flush_down_to(env, 0);
+    pub fn flush_all(&self, env: &KEnv) -> SysResult<()> {
+        self.flush_down_to(env, 0)
     }
 
     /// Drops the given blocks without writing them back — the fate of a
@@ -359,8 +364,8 @@ mod tests {
     #[test]
     fn read_miss_then_hit() {
         let (_, (hits, misses), (reads, _, _)) = run_with_cache(|env, c| {
-            assert!(!c.read(env, 0, 0), "cold miss");
-            assert!(c.read(env, 0, 0), "now cached");
+            assert!(!c.read(env, 0, 0).unwrap(), "cold miss");
+            assert!(c.read(env, 0, 0).unwrap(), "now cached");
         });
         assert_eq!((hits, misses), (1, 1));
         assert_eq!(reads, 1);
@@ -369,10 +374,10 @@ mod tests {
     #[test]
     fn readahead_fills_following_blocks() {
         let (_, (hits, misses), (reads, _, _)) = run_with_cache(|env, c| {
-            assert!(!c.read(env, 0, 3)); // brings 0, 8, 16, 24 (KB)
-            assert!(c.read(env, 8, 0));
-            assert!(c.read(env, 16, 0));
-            assert!(c.read(env, 24, 0));
+            assert!(!c.read(env, 0, 3).unwrap()); // brings 0, 8, 16, 24 (KB)
+            assert!(c.read(env, 8, 0).unwrap());
+            assert!(c.read(env, 16, 0).unwrap());
+            assert!(c.read(env, 24, 0).unwrap());
         });
         assert_eq!((hits, misses), (3, 1));
         assert_eq!(reads, 1, "one clustered disk read");
@@ -381,8 +386,8 @@ mod tests {
     #[test]
     fn delayed_write_touches_no_disk() {
         let (_, _, (reads, writes, _)) = run_with_cache(|env, c| {
-            c.write(env, 0, false);
-            c.write(env, 8, false);
+            c.write(env, 0, false).unwrap();
+            c.write(env, 8, false).unwrap();
             assert_eq!(c.dirty_bytes(), 16 * 1024);
         });
         assert_eq!((reads, writes), (0, 0), "delayed writes stay in cache");
@@ -391,7 +396,7 @@ mod tests {
     #[test]
     fn sync_write_hits_disk_immediately() {
         let (t, _, (_, writes, _)) = run_with_cache(|env, c| {
-            c.write(env, 700_000 * 8, true);
+            c.write(env, 700_000 * 8, true).unwrap();
         });
         assert_eq!(writes, 1);
         assert!(t.as_millis() > 5.0, "a sync metadata write costs a disk op");
@@ -403,7 +408,7 @@ mod tests {
         // flush that should need very few disk commands.
         let (_, _, (_, writes, blocks)) = run_with_cache(|env, c| {
             for i in 0..6u64 {
-                c.write(env, i * 8, false);
+                c.write(env, i * 8, false).unwrap();
             }
         });
         assert!(writes <= 2, "clustered flush, got {writes} commands");
@@ -414,7 +419,7 @@ mod tests {
     fn eviction_never_exceeds_capacity() {
         let (_, _, _) = run_with_cache(|env, c| {
             for i in 0..100u64 {
-                c.read(env, i * 8, 0);
+                c.read(env, i * 8, 0).unwrap();
             }
             // Capacity is 8 blocks of 8 KB.
             let mut resident = 0;
@@ -431,9 +436,9 @@ mod tests {
     #[test]
     fn dirty_eviction_writes_back() {
         let (_, _, (_, writes, _)) = run_with_cache(|env, c| {
-            c.write(env, 0, false); // one dirty block
+            c.write(env, 0, false).unwrap(); // one dirty block
             for i in 1..20u64 {
-                c.read(env, i * 8, 0); // push it out
+                c.read(env, i * 8, 0).unwrap(); // push it out
             }
             assert!(!c.contains(0));
         });
@@ -444,9 +449,9 @@ mod tests {
     fn flush_all_cleans_everything() {
         let (_, _, _) = run_with_cache(|env, c| {
             for i in 0..4u64 {
-                c.write(env, i * 8, false);
+                c.write(env, i * 8, false).unwrap();
             }
-            c.flush_all(env);
+            c.flush_all(env).unwrap();
             assert_eq!(c.dirty_bytes(), 0);
         });
     }
@@ -454,7 +459,7 @@ mod tests {
     #[test]
     fn invalidate_drops_without_io() {
         let (_, _, (_, writes, _)) = run_with_cache(|env, c| {
-            c.write(env, 0, false);
+            c.write(env, 0, false).unwrap();
             c.invalidate_all();
             assert_eq!(c.dirty_bytes(), 0);
             assert!(!c.contains(0));

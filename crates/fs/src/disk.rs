@@ -7,9 +7,14 @@
 
 use parking_lot::Mutex;
 
-use tnt_os::KEnv;
+use tnt_os::{Errno, KEnv, SysResult};
 use tnt_sim::trace::{Class, Counter};
 use tnt_sim::Cycles;
+
+/// Transparent retries the driver performs on a transient command fault
+/// before surfacing `EIO` to the filesystem (the classic `sd` retry
+/// budget). Each retry re-pays the full mechanical service time.
+const DISK_RETRIES: u32 = 2;
 
 /// Mechanical and transfer parameters of a drive.
 #[derive(Clone, Copy, Debug)]
@@ -69,6 +74,10 @@ struct DiskState {
     reads: u64,
     writes: u64,
     blocks_moved: u64,
+    /// Transient command faults absorbed by driver retries.
+    faults: u64,
+    /// Sector-remap latency spikes paid.
+    remaps: u64,
 }
 
 /// A disk drive: computes service times from head movement and transfer
@@ -97,6 +106,8 @@ impl Disk {
                 reads: 0,
                 writes: 0,
                 blocks_moved: 0,
+                faults: 0,
+                remaps: 0,
             }),
         }
     }
@@ -110,6 +121,13 @@ impl Disk {
     pub fn stats(&self) -> (u64, u64, u64) {
         let st = self.state.lock();
         (st.reads, st.writes, st.blocks_moved)
+    }
+
+    /// (transient faults retried, sector remaps paid) so far — nonzero
+    /// only when the fault plane is injecting.
+    pub fn fault_stats(&self) -> (u64, u64) {
+        let st = self.state.lock();
+        (st.faults, st.remaps)
     }
 
     /// Seek time for a head movement of `dist` blocks, using the classic
@@ -155,30 +173,59 @@ impl Disk {
     /// Performs a synchronous transfer of `blocks` 1 KB blocks starting at
     /// `addr`: the calling simulated process sleeps for the service time,
     /// phase by phase so the profiler sees where the milliseconds go.
-    pub fn io(&self, env: &KEnv, kind: IoKind, addr: u64, blocks: u64) {
-        let phases = {
-            let mut st = self.state.lock();
-            let phases = self.service_phases(st.head, addr, blocks);
-            st.head = addr + blocks;
-            match kind {
-                IoKind::Read => st.reads += 1,
-                IoKind::Write => st.writes += 1,
-            }
-            st.blocks_moved += blocks;
-            phases
-        };
+    ///
+    /// Under fault injection a command may hit a sector remap (the
+    /// service succeeds after extra arm travel plus a lost revolution) or
+    /// fail transiently; the driver retries a failed command up to
+    /// [`DISK_RETRIES`] times — each retry re-pays full service time —
+    /// and surfaces `EIO` only when the budget is spent. With faults off
+    /// this is infallible and byte-identical to the faultless model.
+    pub fn io(&self, env: &KEnv, kind: IoKind, addr: u64, blocks: u64) -> SysResult<()> {
         let counter = match kind {
             IoKind::Read => Counter::DiskReads,
             IoKind::Write => Counter::DiskWrites,
         };
-        env.sim.count(counter, 1);
-        let classes = [Class::DiskSeek, Class::DiskRotation, Class::DiskMedia];
-        for (class, t) in classes.into_iter().zip(phases) {
-            if t > Cycles::ZERO {
-                let _s = env.sim.span(class);
-                env.sim.sleep(t);
+        for _attempt in 0..=DISK_RETRIES {
+            // Each attempt is a command the bus carried, so each counts.
+            env.sim.count(counter, 1);
+            let mut phases = {
+                let mut st = self.state.lock();
+                let phases = self.service_phases(st.head, addr, blocks);
+                st.head = addr + blocks;
+                match kind {
+                    IoKind::Read => st.reads += 1,
+                    IoKind::Write => st.writes += 1,
+                }
+                st.blocks_moved += blocks;
+                phases
+            };
+            if env.sim.faults().disk_remap() {
+                // The drive transparently revectors the sector: extra arm
+                // travel to the spare cylinder plus one lost revolution,
+                // charged to the seek phase where an observer's timing
+                // would see it.
+                self.state.lock().remaps += 1;
+                env.sim.count(Counter::DiskRemaps, 1);
+                phases[0] = phases[0] + self.seek_time(self.params.total_blocks) + self.params.rotation();
             }
+            for (class, t) in [Class::DiskSeek, Class::DiskRotation, Class::DiskMedia]
+                .into_iter()
+                .zip(phases)
+            {
+                if t > Cycles::ZERO {
+                    let _s = env.sim.span(class);
+                    env.sim.sleep(t);
+                }
+            }
+            if !env.sim.faults().disk_transient() {
+                return Ok(());
+            }
+            // The command failed after the mechanical work; count it and
+            // let the retry loop re-issue.
+            self.state.lock().faults += 1;
+            env.sim.count(Counter::DiskFaults, 1);
         }
+        Err(Errno::EIO)
     }
 }
 
@@ -242,8 +289,8 @@ mod tests {
         let d2 = disk.clone();
         let env = kernel.env().clone();
         kernel.spawn_user("io", move |_| {
-            d2.io(&env, IoKind::Read, 500_000, 8);
-            d2.io(&env, IoKind::Read, 500_008, 8); // sequential: cheap
+            d2.io(&env, IoKind::Read, 500_000, 8).unwrap();
+            d2.io(&env, IoKind::Read, 500_008, 8).unwrap(); // sequential: cheap
         });
         let elapsed = sim.run().unwrap();
         let (reads, writes, blocks) = disk.stats();
@@ -259,5 +306,69 @@ mod tests {
     fn rotation_from_rpm() {
         let p = DiskParams::hp3725();
         assert!((p.rotation().as_millis() - 13.33).abs() < 0.02);
+    }
+
+    fn boot_faulty(
+        profile: tnt_sim::fault::FaultProfile,
+    ) -> (tnt_sim::Sim, tnt_os::Kernel) {
+        let (sim, kernels) = tnt_os::boot_cluster_with_faults(&[Os::Linux], 0, profile);
+        (sim, kernels[0].clone())
+    }
+
+    #[test]
+    fn transient_faults_exhaust_the_retry_budget_to_eio() {
+        use tnt_sim::fault::FaultProfile;
+        let (sim, kernel) = boot_faulty(FaultProfile {
+            disk_transient: 1.0,
+            ..FaultProfile::off()
+        });
+        let disk = std::sync::Arc::new(Disk::new(DiskParams::hp3725()));
+        let d2 = disk.clone();
+        let env = kernel.env().clone();
+        kernel.spawn_user("io", move |_| {
+            assert_eq!(d2.io(&env, IoKind::Write, 0, 8).err(), Some(Errno::EIO));
+        });
+        let elapsed = sim.run().unwrap();
+        let (faults, _) = disk.fault_stats();
+        // Initial command + DISK_RETRIES retries, every one a fault, and
+        // every one paid full mechanical service time.
+        assert_eq!(faults, 1 + DISK_RETRIES as u64);
+        let (_, writes, _) = disk.stats();
+        assert_eq!(writes, 1 + DISK_RETRIES as u64);
+        let one = Disk::new(DiskParams::hp3725()).service_time(0, 0, 8);
+        assert!(
+            elapsed.as_millis() >= one.as_millis() * (1 + DISK_RETRIES) as f64,
+            "each retry re-pays service time: {}ms",
+            elapsed.as_millis()
+        );
+    }
+
+    #[test]
+    fn remaps_cost_time_but_the_command_succeeds() {
+        use tnt_sim::fault::FaultProfile;
+        let run = |profile: FaultProfile| {
+            let (sim, kernel) = boot_faulty(profile);
+            let disk = std::sync::Arc::new(Disk::new(DiskParams::hp3725()));
+            let d2 = disk.clone();
+            let env = kernel.env().clone();
+            kernel.spawn_user("io", move |_| {
+                d2.io(&env, IoKind::Read, 1000, 8).unwrap();
+            });
+            (sim.run().unwrap(), disk.fault_stats())
+        };
+        let (clean, (f0, r0)) = run(FaultProfile::off());
+        assert_eq!((f0, r0), (0, 0));
+        let (remapped, (f1, r1)) = run(FaultProfile {
+            disk_remap: 1.0,
+            ..FaultProfile::off()
+        });
+        assert_eq!((f1, r1), (0, 1), "one remap, no transient faults");
+        // The revector pays a full-stroke seek plus a lost revolution.
+        assert!(
+            remapped.as_millis() > clean.as_millis() + 20.0,
+            "remap spike visible: {} vs {}ms",
+            remapped.as_millis(),
+            clean.as_millis()
+        );
     }
 }

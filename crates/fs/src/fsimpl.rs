@@ -218,6 +218,12 @@ impl SimFs {
             return Err(Errno::EINVAL);
         }
         let (parent, depth) = self.resolve(st, dir)?;
+        // POSIX: a non-directory in the dirname position is ENOTDIR,
+        // not ENOENT — `creat("/file/x")` names an impossible place,
+        // it is not a missing entry in a real directory.
+        if !st.inodes.get(&parent).ok_or(Errno::ENOENT)?.is_dir {
+            return Err(Errno::ENOTDIR);
+        }
         Ok((parent, name, depth + 1))
     }
 
@@ -230,10 +236,11 @@ impl SimFs {
 
     /// Writes the metadata blocks of an operation: the first `sync_count`
     /// go synchronously to the disk, the rest are delayed writes.
-    fn meta_writes(&self, env: &KEnv, addrs: &[u64], sync_count: u32) {
+    fn meta_writes(&self, env: &KEnv, addrs: &[u64], sync_count: u32) -> SysResult<()> {
         for (i, &addr) in addrs.iter().enumerate() {
-            self.cache.write(env, addr, (i as u32) < sync_count);
+            self.cache.write(env, addr, (i as u32) < sync_count)?;
         }
+        Ok(())
     }
 }
 
@@ -290,15 +297,16 @@ impl SimFs {
     /// Brings `ino` into the in-core inode/attribute cache, charging the
     /// rebuild cost (and a buffer-cache access that may reach the disk)
     /// on a miss. FreeBSD's separate attribute cache skips all of this.
-    fn touch_inode(&self, env: &KEnv, ino: u64) {
+    fn touch_inode(&self, env: &KEnv, ino: u64) -> SysResult<()> {
         if self.params.attr_cache {
-            return;
+            return Ok(());
         }
         let hit = self.meta.lock().touch(ino);
         if !hit {
             env.sim.charge(Cycles(self.params.getattr_miss_cy));
-            self.cache.read(env, self.inode_block(ino), 0);
+            self.cache.read(env, self.inode_block(ino), 0)?;
         }
+        Ok(())
     }
 }
 
@@ -309,7 +317,7 @@ impl Filesystem for SimFs {
             self.resolve(&st, path)?
         };
         self.charge_namei(env, depth);
-        self.touch_inode(env, ino);
+        self.touch_inode(env, ino)?;
         Ok(ino)
     }
 
@@ -364,14 +372,14 @@ impl Filesystem for SimFs {
         match action {
             Action::Existing(ino, depth) => {
                 self.charge_namei(env, depth);
-                self.touch_inode(env, ino);
+                self.touch_inode(env, ino)?;
                 Ok(ino)
             }
             Action::Created { ino, depth, meta } => {
                 self.charge_namei(env, depth);
                 // Freshly created: the inode is in core by construction.
                 self.meta.lock().touch(ino);
-                self.meta_writes(env, &meta, self.params.sync_create);
+                self.meta_writes(env, &meta, self.params.sync_create)?;
                 Ok(ino)
             }
         }
@@ -428,11 +436,11 @@ impl Filesystem for SimFs {
         let nblocks = plan.len() as u64;
         for (addr, cluster) in plan {
             if self.cache.contains(addr) {
-                self.cache.read(env, addr, 0);
+                self.cache.read(env, addr, 0)?;
             } else {
                 // One clustered disk command covers the rest of the run;
                 // the following blocks of this request will then hit.
-                self.cache.read(env, addr, cluster);
+                self.cache.read(env, addr, cluster)?;
             }
         }
         {
@@ -492,7 +500,7 @@ impl Filesystem for SimFs {
             );
         }
         for addr in plan {
-            self.cache.write(env, addr, false);
+            self.cache.write(env, addr, false)?;
         }
         Ok(len)
     }
@@ -521,7 +529,7 @@ impl Filesystem for SimFs {
         }
         // The preceding lookup paid any inode-cache miss; reading the
         // attributes of an in-core inode is cheap.
-        self.touch_inode(env, vnode);
+        self.touch_inode(env, vnode)?;
         env.sim.charge(Cycles(self.params.getattr_hit_cy));
         Ok(attr)
     }
@@ -553,7 +561,7 @@ impl Filesystem for SimFs {
             }
         };
         self.charge_namei(env, depth);
-        self.meta_writes(env, &meta, self.params.sync_unlink);
+        self.meta_writes(env, &meta, self.params.sync_unlink)?;
         Ok(())
     }
 
@@ -577,7 +585,7 @@ impl Filesystem for SimFs {
             ([self.inode_block(ino), parent_blk], depth)
         };
         self.charge_namei(env, depth);
-        self.meta_writes(env, &meta, self.params.sync_mkdir);
+        self.meta_writes(env, &meta, self.params.sync_mkdir)?;
         Ok(())
     }
 
@@ -604,7 +612,7 @@ impl Filesystem for SimFs {
             ([parent_blk, self.inode_block(ino)], depth)
         };
         self.charge_namei(env, depth);
-        self.meta_writes(env, &meta, self.params.sync_mkdir);
+        self.meta_writes(env, &meta, self.params.sync_mkdir)?;
         Ok(())
     }
 
@@ -621,7 +629,7 @@ impl Filesystem for SimFs {
             (names, blk, depth)
         };
         self.charge_namei(env, depth);
-        self.cache.read(env, dir_blk, 0);
+        self.cache.read(env, dir_blk, 0)?;
         env.sim
             .charge(Cycles(self.params.readdir_entry_cy * names.len() as u64));
         Ok(names)
@@ -675,22 +683,24 @@ impl Filesystem for SimFs {
         };
         self.charge_namei(env, depth);
         // Rename updates both directories with the create-side policy.
-        self.meta_writes(env, &meta, self.params.sync_create);
+        self.meta_writes(env, &meta, self.params.sync_create)?;
         Ok(())
     }
 
     fn fsync(&self, env: &KEnv, vnode: VnodeId) -> SysResult<()> {
         env.sim.charge(Cycles(self.params.per_op_cy));
-        self.cache.flush_all(env);
+        self.cache.flush_all(env)?;
         // fsync(2) also commits the inode (size, timestamps): one far
         // synchronous metadata write — this is what makes each NFS WRITE
         // against a spec-compliant server so expensive.
-        self.cache.write(env, self.inode_block(vnode), true);
+        self.cache.write(env, self.inode_block(vnode), true)?;
         Ok(())
     }
 
     fn sync(&self, env: &KEnv) {
-        self.cache.flush_all(env);
+        // sync(2) is fire-and-forget: a failed flush leaves the block
+        // dirty for the next pass, it does not fail the syscall.
+        let _ = self.cache.flush_all(env);
     }
 }
 
@@ -742,6 +752,32 @@ mod tests {
     }
 
     #[test]
+    fn traversal_through_a_file_is_enotdir() {
+        run_fs(Os::Linux, |p| {
+            let fd = p.creat("/f").unwrap();
+            p.close(fd).unwrap();
+            // A file in a directory position poisons every namei form:
+            // mid-path, dirname position, and as the directory operand.
+            assert_eq!(
+                p.open("/f/deeper/x", OpenFlags::rdonly()).err(),
+                Some(Errno::ENOTDIR)
+            );
+            assert_eq!(p.stat("/f/x").err(), Some(Errno::ENOTDIR));
+            assert_eq!(p.creat("/f/x").err(), Some(Errno::ENOTDIR));
+            assert_eq!(p.mkdir("/f/d").err(), Some(Errno::ENOTDIR));
+            assert_eq!(p.unlink("/f/x").err(), Some(Errno::ENOTDIR));
+            assert_eq!(p.readdir("/f").err(), Some(Errno::ENOTDIR));
+            assert_eq!(p.rmdir("/f").err(), Some(Errno::ENOTDIR));
+            assert_eq!(p.rename("/f/x", "/y").err(), Some(Errno::ENOTDIR));
+            let fd = p.creat("/y").unwrap();
+            p.close(fd).unwrap();
+            assert_eq!(p.rename("/y", "/f/x").err(), Some(Errno::ENOTDIR));
+            // The file itself is untouched by all that flailing.
+            assert!(p.stat("/f").unwrap().size == 0 && !p.stat("/f").unwrap().is_dir);
+        });
+    }
+
+    #[test]
     fn exclusive_create() {
         run_fs(Os::Solaris, |p| {
             let fd = p.creat("/x").unwrap();
@@ -752,6 +788,26 @@ mod tests {
             };
             assert_eq!(p.open("/x", excl).err(), Some(Errno::EEXIST));
         });
+    }
+
+    #[test]
+    fn dead_disk_surfaces_eio_through_the_syscall_layer() {
+        // Every command fails even after the driver's retries, so the
+        // first operation that must touch the platter comes back EIO —
+        // through buffer cache, filesystem and VFS, not a panic.
+        let profile = tnt_sim::fault::FaultProfile {
+            disk_transient: 1.0,
+            ..tnt_sim::fault::FaultProfile::off()
+        };
+        let (sim, kernels) = tnt_os::boot_cluster_with_faults(&[Os::FreeBsd], 0, profile);
+        let kernel = kernels[0].clone();
+        kernel.mount(SimFs::fresh_for_os(Os::FreeBsd));
+        kernel.spawn_user("eio", move |p| {
+            // FFS creates synchronously: the metadata write hits the
+            // dead disk and the syscall reports it.
+            assert_eq!(p.creat("/f").err(), Some(Errno::EIO));
+        });
+        sim.run().unwrap();
     }
 
     #[test]

@@ -8,6 +8,7 @@
 use std::path::PathBuf;
 
 use crate::{all_ids, extra_ids};
+use tnt_sim::fault::FaultProfile;
 
 /// What `reproduce` has been asked to do.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -50,6 +51,8 @@ pub struct Cli {
     pub tolerance_pct: f64,
     /// Attach cycle-attribution profiles to each experiment.
     pub profile: bool,
+    /// Ambient fault-injection profile (`--faults off|smoke|lossy`).
+    pub faults: FaultProfile,
     /// Run the cycle-conservation audit after the suite.
     pub audit: bool,
     /// Output directory for CSVs, baselines and bench artifacts.
@@ -65,7 +68,8 @@ pub struct Cli {
 pub fn usage() -> String {
     format!(
         "usage: reproduce [bless|check|bench] [--quick|--full] [--jobs N] \
-         [--tolerance PCT] [--profile] [--audit] [--out DIR] [--markdown FILE] [ids...|all]\n\
+         [--tolerance PCT] [--profile] [--audit] [--faults off|smoke|lossy] \
+         [--out DIR] [--markdown FILE] [ids...|all]\n\
          \n\
          subcommands:\n\
          \x20 (none)   run the experiments and print each table/figure\n\
@@ -76,6 +80,12 @@ pub fn usage() -> String {
          --audit runs the cycle-conservation audit after the suite: every\n\
          profileable experiment is re-sampled under tracing and charged\n\
          cycles must equal attributed cycles exactly.\n\
+         \n\
+         --faults injects deterministic seed-driven faults (disk transients\n\
+         and remaps, frame drop/duplicate/delay, RPC request/reply loss):\n\
+         off (default) injects nothing and is byte-identical to a build\n\
+         without the fault plane; smoke is a light sanity dose; lossy is a\n\
+         degraded network and an ageing disk.\n\
          \n\
          experiments: {}\n\
          ablations:   {}",
@@ -101,6 +111,7 @@ pub fn parse(args: Vec<String>) -> Result<Cli, String> {
         jobs: 1,
         tolerance_pct: 2.0,
         profile: false,
+        faults: FaultProfile::off(),
         audit: false,
         out_dir: PathBuf::from("results"),
         markdown: None,
@@ -118,6 +129,14 @@ pub fn parse(args: Vec<String>) -> Result<Cli, String> {
             "--full" => cli.scale = ScaleKind::Full,
             "--profile" => cli.profile = true,
             "--audit" => cli.audit = true,
+            "--faults" => {
+                let raw = iter
+                    .next()
+                    .ok_or_else(|| format!("--faults needs a profile name\n{}", usage()))?;
+                cli.faults = FaultProfile::parse(&raw).ok_or_else(|| {
+                    format!("--faults got {raw:?}, want off|smoke|lossy\n{}", usage())
+                })?;
+            }
             "--jobs" | "-j" => cli.jobs = parse_number("--jobs", iter.next())?,
             "--tolerance" => cli.tolerance_pct = parse_number("--tolerance", iter.next())?,
             "--out" => {
@@ -237,6 +256,19 @@ mod tests {
         assert!(parse(args(&["--jobs"])).is_err());
         assert!(parse(args(&["--jobs", "many"])).is_err());
         assert!(parse(args(&["--tolerance", "-3"])).is_err());
+    }
+
+    #[test]
+    fn faults_flag_parses_profiles() {
+        assert!(parse(vec![]).unwrap().faults.is_off());
+        let cli = parse(args(&["--faults", "smoke"])).unwrap();
+        assert_eq!(cli.faults, FaultProfile::smoke());
+        let cli = parse(args(&["--faults", "lossy", "t6"])).unwrap();
+        assert_eq!(cli.faults, FaultProfile::lossy());
+        assert_eq!(cli.ids, vec!["t6"]);
+        let err = parse(args(&["--faults", "chaos"])).unwrap_err();
+        assert!(err.contains("chaos") && err.contains("usage:"));
+        assert!(parse(args(&["--faults"])).is_err());
     }
 
     #[test]

@@ -134,7 +134,9 @@ pub(crate) fn plan_one(id: &str, scale: &Scale) -> ExperimentPlan {
         "t5" => plan_t5(scale),
         "t6" => plan_nfs("t6", Os::Linux, scale),
         "t7" => plan_nfs("t7", Os::SunOs, scale),
-        "x1" | "x2" | "x3" | "x4" | "x5" | "x6" | "x7" => crate::ablations::plan_extra(id, scale),
+        "x1" | "x2" | "x3" | "x4" | "x5" | "x6" | "x7" | "x8" => {
+            crate::ablations::plan_extra(id, scale)
+        }
         other => panic!("unknown experiment id {other:?}"),
     }
 }

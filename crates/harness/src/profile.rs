@@ -9,10 +9,11 @@
 //! Figure 12's shows FreeBSD's synchronous metadata writes.
 
 use tnt_core::{
-    bonnie, crtdel_ms, ctx_us, mab_local, mab_over_nfs, mem_bandwidth, packet_sizes,
-    pipe_bandwidth_mbit, syscall_us, tcp_bandwidth_mbit, udp_bandwidth_mbit, CtxPattern,
-    LibcVariant, MemRoutine, Os,
+    bonnie, crtdel_ms, ctx_us, mab_local, mab_over_nfs, mab_over_nfs_faulty, mem_bandwidth,
+    packet_sizes, pipe_bandwidth_mbit, syscall_us, tcp_bandwidth_mbit, udp_bandwidth_mbit,
+    CtxPattern, LibcVariant, MemRoutine, Os,
 };
+use tnt_sim::fault::FaultProfile;
 use tnt_sim::trace::{session, SessionReport};
 
 use crate::scale::Scale;
@@ -53,7 +54,7 @@ pub struct ProfileOutput {
 pub fn profile_ids() -> Vec<&'static str> {
     vec![
         "t2", "f1", "f2", "f3", "f4", "f5", "f6", "f7", "f8", "f9", "f10", "f11", "f12", "t3",
-        "t4", "f13", "t5", "t6", "t7",
+        "t4", "f13", "t5", "t6", "t7", "x8",
     ]
 }
 
@@ -178,6 +179,59 @@ pub fn profile_experiment(id: &str, scale: &Scale) -> Option<Vec<ProfiledSample>
                 }));
             }
         }
+        "x8" => {
+            // The degraded-but-working regime: the x8 curve's hardest
+            // point (5% loss), where RpcRetransmits and the frame-drop
+            // counters show up next to the normal RPC traffic.
+            let lossy = FaultProfile {
+                net_drop: 0.05,
+                rpc_request_drop: 0.05,
+                rpc_reply_drop: 0.05,
+                ..FaultProfile::off()
+            };
+            out.push(sample("FreeBSD client, 5% RPC loss", move || {
+                mab_over_nfs_faulty(Os::FreeBsd, Os::SunOs, PROFILE_SEED, lossy);
+            }));
+            // Retry exhaustion: every reply is dropped, so the client's
+            // first (lazy) root LOOKUP burns all its retries — backoff
+            // doubling from 700 ms toward the 60 s cap — and fails with
+            // ETIMEDOUT. RpcMajorTimeouts must be visible here: this is
+            // the only place the suite exercises a *failed* RPC.
+            out.push(sample("retry exhaustion, 100% reply loss", || {
+                let dead = FaultProfile {
+                    rpc_reply_drop: 1.0,
+                    ..FaultProfile::off()
+                };
+                let (sim, kernels) =
+                    tnt_os::boot_cluster_with_faults(&[Os::FreeBsd, Os::SunOs], PROFILE_SEED, dead);
+                let client_k = kernels[0].clone();
+                let server_k = kernels[1].clone();
+                let net = tnt_net::Net::ethernet_10mbit();
+                let client_host = net.register_host(&client_k);
+                let server_host = net.register_host(&server_k);
+                let server_fs = tnt_fs::SimFs::fresh_for_os(Os::SunOs);
+                server_k.mount(server_fs.clone());
+                let server = tnt_nfs::serve(
+                    &net,
+                    &server_k,
+                    server_host,
+                    server_fs,
+                    tnt_nfs::NfsServerConfig::for_os(Os::SunOs),
+                )
+                .expect("nfsd start");
+                let mount =
+                    tnt_nfs::NfsClient::mount(&net, &client_k, client_host, server.addr())
+                        .expect("mount");
+                client_k.mount(mount);
+                client_k.spawn_user("stat-timeout", |p| {
+                    // The stat drives the mount's first RPC; with every
+                    // reply lost it must come back ETIMEDOUT.
+                    let _ = p.stat("/");
+                    p.sim().stop();
+                });
+                sim.run().expect("timeout sim failed");
+            }));
+        }
         _ => return None,
     }
     Some(out)
@@ -258,6 +312,29 @@ mod tests {
         assert!(out.text.contains("data copy"), "{}", out.text);
         assert!(!out.files.is_empty());
         assert!(out.files.iter().all(|(name, _)| name.ends_with(".folded")));
+    }
+
+    #[test]
+    fn x8_profile_surfaces_the_fault_counters() {
+        let samples = profile_experiment("x8", &Scale::smoke()).unwrap();
+        assert_eq!(samples.len(), 2);
+        let lossy = &samples[0].report;
+        assert!(
+            lossy.counter(Counter::RpcRetransmits) > 0,
+            "5% loss must force retransmissions"
+        );
+        let dead = &samples[1].report;
+        assert!(
+            dead.counter(Counter::RpcMajorTimeouts) > 0,
+            "total reply loss must exhaust the retries"
+        );
+        // The rendered block only prints non-zero counters, so the
+        // major-timeout line must survive into --profile output.
+        let text = dead.render("retry exhaustion, 100% reply loss");
+        assert!(
+            text.contains("rpc major timeouts") || text.contains("RpcMajorTimeouts"),
+            "major timeouts missing from render:\n{text}"
+        );
     }
 
     #[test]

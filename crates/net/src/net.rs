@@ -122,6 +122,13 @@ impl Net {
         if from == to {
             return false;
         }
+        // Fault plane: injected frame loss draws from its own salted RNG
+        // stream, so enabling it never perturbs the simulation RNG (and
+        // with faults off it draws nothing at all).
+        if env.sim.faults().net_drop() {
+            self.inner.ether.lock().dropped += 1;
+            return true;
+        }
         let loss = self.inner.ether.lock().loss;
         if loss == 0.0 {
             return false;
@@ -161,6 +168,18 @@ impl Net {
         let tx_secs = (bytes + ETHER_FRAMING) as f64 * 8.0 / ether.bps;
         ether.busy_until = start + Cycles::from_secs(tx_secs);
         ether.busy_until
+    }
+
+    /// Wire time of one maximum-size frame (MTU payload plus framing) —
+    /// the unit of fault-injected delivery delay. Zero on a wireless
+    /// (loopback-only) network.
+    #[must_use]
+    pub(crate) fn max_frame_time(&self) -> Cycles {
+        let bps = self.inner.ether.lock().bps;
+        if bps <= 0.0 {
+            return Cycles::ZERO;
+        }
+        Cycles::from_secs((1500 + ETHER_FRAMING) as f64 * 8.0 / bps)
     }
 
     pub(crate) fn bind(

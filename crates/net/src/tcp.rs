@@ -25,6 +25,10 @@ struct Seg {
     available_at: Cycles,
 }
 
+/// Retransmission timeout charged when the fault plane drops a cross-host
+/// segment: the era's BSD timers fired at 500 ms granularity.
+const TCP_RTO: Cycles = Cycles(50_000_000);
+
 struct DirState {
     segs: VecDeque<Seg>,
     /// Bytes sent and not yet consumed+acked.
@@ -93,19 +97,33 @@ impl TcpStream {
                     }
                     if st.inflight + chunk <= self.tx.window {
                         st.inflight += chunk;
-                        let available_at =
-                            self.net
-                                .transit(&self.env, self.local_host, self.peer_host, chunk);
-                        st.segs.push_back(Seg {
-                            len: chunk,
-                            available_at,
-                        });
                         true
                     } else {
                         false
                     }
                 };
                 if fits {
+                    let mut available_at =
+                        self.net
+                            .transit(&self.env, self.local_host, self.peer_host, chunk);
+                    if self.local_host != self.peer_host && self.env.sim.faults().net_drop() {
+                        // Fault plane: the segment was lost on the wire.
+                        // TCP is reliable, so the loss surfaces as latency:
+                        // the sender idles one RTO, then the segment
+                        // crosses the (re-reserved) wire again.
+                        self.env.sim.count(Counter::TcpRetransmits, 1);
+                        {
+                            let _w = self.env.sim.span(Class::AckWindowWait);
+                            self.env.sim.sleep(TCP_RTO);
+                        }
+                        available_at =
+                            self.net
+                                .transit(&self.env, self.local_host, self.peer_host, chunk);
+                    }
+                    self.tx.state.lock().segs.push_back(Seg {
+                        len: chunk,
+                        available_at,
+                    });
                     break;
                 }
                 // A window-limited sender sits here until the receiver's

@@ -166,10 +166,22 @@ impl UdpSocket {
             ));
         }
         // Failure injection: a lost frame still consumed wire time.
-        let available_at = self.net.transit(&self.env, self.addr.host, to.host, len);
+        let mut available_at = self.net.transit(&self.env, self.addr.host, to.host, len);
         if self.net.frame_lost(&self.env, self.addr.host, to.host) {
             return Ok(len);
         }
+        let cross_host = to.host != self.addr.host;
+        if cross_host && self.env.sim.faults().net_delay() {
+            // Fault plane: the frame queues behind a burst of alien
+            // traffic and arrives about one maximum frame time late.
+            self.env.sim.count(Counter::NetLateFrames, 1);
+            available_at += self.net.max_frame_time();
+        }
+        // Fault plane: link-layer duplication — the same datagram crosses
+        // the wire twice and the receiver sees both copies (the RPC layer
+        // must tolerate this; the server's duplicate-request cache does).
+        let duplicate = cross_host && self.env.sim.faults().net_dup();
+        let dup_data = if duplicate { data.clone() } else { Vec::new() };
         let buffered = match self.net.sink_for(to, Proto::Udp) {
             // No listener: the packet vanishes, as UDP packets do.
             None => return Ok(len),
@@ -180,6 +192,18 @@ impl UdpSocket {
                 data,
             }),
         };
+        if duplicate {
+            self.env.sim.count(Counter::NetDupFrames, 1);
+            let dup_at = self.net.transit(&self.env, self.addr.host, to.host, len);
+            if let Some(sink) = self.net.sink_for(to, Proto::Udp) {
+                let _ = sink.deliver(Packet {
+                    from: self.addr,
+                    len,
+                    available_at: dup_at,
+                    data: dup_data,
+                });
+            }
+        }
         if let Some(buffered) = buffered {
             // Loopback backpressure: once the peer's buffer is half full,
             // yield so the receiver's timeslice can drain it (models the

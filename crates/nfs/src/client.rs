@@ -97,8 +97,19 @@ impl NfsClientParams {
 /// Initial RPC retransmission timeout (700 ms, the classic default).
 const RPC_TIMEOUT: Cycles = Cycles(70_000_000);
 
-/// Retransmissions before the client gives up with `EIO`.
+/// Cap on the doubling retransmission backoff (60 s, `timeo` ceiling).
+/// Without it the doubled timeout grows without bound: six attempts is
+/// fine, but any retry-limit bump would have waits measured in minutes.
+const RPC_MAX_TIMEOUT: Cycles = Cycles(6_000_000_000);
+
+/// Retransmissions before the client declares a major timeout and gives
+/// up with `ETIMEDOUT` (a soft mount's "server not responding").
 const RPC_RETRIES: u32 = 5;
+
+/// The next backoff step: doubled, but never past [`RPC_MAX_TIMEOUT`].
+fn next_backoff(timeout: Cycles) -> Cycles {
+    Cycles(timeout.0.saturating_mul(2).min(RPC_MAX_TIMEOUT.0))
+}
 
 struct CState {
     xid: u32,
@@ -115,6 +126,8 @@ struct CState {
     rpc_counts: BTreeMap<&'static str, u64>,
     /// Retransmissions performed (lost request or lost reply).
     retransmits: u64,
+    /// RPCs abandoned after the full retry budget (ETIMEDOUT surfaced).
+    major_timeouts: u64,
 }
 
 /// A mounted NFS filesystem (the client side).
@@ -150,6 +163,7 @@ impl NfsClient {
                 data_order: Vec::new(),
                 rpc_counts: BTreeMap::new(),
                 retransmits: 0,
+                major_timeouts: 0,
             }),
         });
         Ok(client)
@@ -173,6 +187,11 @@ impl NfsClient {
     /// Retransmissions performed so far (non-zero only on a lossy wire).
     pub fn retransmits(&self) -> u64 {
         self.state.lock().retransmits
+    }
+
+    /// RPCs that exhausted their retry budget and surfaced `ETIMEDOUT`.
+    pub fn major_timeouts(&self) -> u64 {
+        self.state.lock().major_timeouts
     }
 
     fn call_name(call: &NfsCall) -> &'static str {
@@ -247,9 +266,13 @@ impl NfsClient {
                     Recv::Closed => return Err(Errno::EIO),
                 }
             }
-            timeout = timeout + timeout;
+            timeout = next_backoff(timeout);
         }
-        Err(Errno::EIO)
+        // Major timeout: the retry budget is spent. Surface ETIMEDOUT —
+        // distinct from a transport EIO — and account for it.
+        self.state.lock().major_timeouts += 1;
+        env.sim.count(Counter::RpcMajorTimeouts, 1);
+        Err(Errno::ETIMEDOUT)
     }
 
     fn root(&self, env: &KEnv) -> SysResult<Fh> {
@@ -683,5 +706,31 @@ impl NfsClient {
             }
             _ => Err(Errno::EIO),
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_doubles_until_the_cap() {
+        let mut t = RPC_TIMEOUT;
+        for _ in 0..RPC_RETRIES {
+            t = next_backoff(t);
+            assert!(t <= RPC_MAX_TIMEOUT, "backoff exceeded the cap: {t:?}");
+        }
+        // Many more doublings still respect the ceiling (the original
+        // code grew without bound here).
+        for _ in 0..64 {
+            t = next_backoff(t);
+        }
+        assert_eq!(t, RPC_MAX_TIMEOUT);
+    }
+
+    #[test]
+    fn backoff_is_monotone_from_the_initial_timeout() {
+        assert_eq!(next_backoff(RPC_TIMEOUT), Cycles(RPC_TIMEOUT.0 * 2));
+        assert!(next_backoff(RPC_MAX_TIMEOUT) == RPC_MAX_TIMEOUT);
     }
 }

@@ -176,6 +176,7 @@ fn errno_code(e: Errno) -> u32 {
         Errno::EMSGSIZE => 90,
         Errno::EAGAIN => 11,
         Errno::EIO => 5,
+        Errno::ETIMEDOUT => 110,
     }
 }
 
@@ -196,6 +197,7 @@ fn code_errno(c: u32) -> Errno {
         90 => Errno::EMSGSIZE,
         11 => Errno::EAGAIN,
         5 => Errno::EIO,
+        110 => Errno::ETIMEDOUT,
         _ => Errno::EINVAL,
     }
 }

@@ -145,6 +145,12 @@ fn server_loop(
             Ok(Some(pkt)) => pkt,
             Ok(None) | Err(_) => return,
         };
+        // Fault plane: a dropped request vanishes before any processing
+        // (an overflowed socket buffer on a busy nfsd). The client's
+        // retransmission — same xid — will be served normally.
+        if env.sim.faults().rpc_request_drop() {
+            continue;
+        }
         // Everything between receiving a request and posting its reply is
         // server-side RPC time: decode/dispatch CPU plus the filesystem
         // work (which opens its own nested spans — disk phases and all).
@@ -171,7 +177,9 @@ fn server_loop(
         };
         if let Some((bytes, pad)) = replay {
             state.lock().stats.dup_hits += 1;
-            let _ = sock.send_padded(pkt.from, bytes, pad);
+            if !env.sim.faults().rpc_reply_drop() {
+                let _ = sock.send_padded(pkt.from, bytes, pad);
+            }
             continue;
         }
         {
@@ -197,7 +205,13 @@ fn server_loop(
             st.dup_cache
                 .push(((pkt.from, req.xid), (bytes.clone(), pad)));
         }
-        let _ = sock.send_padded(pkt.from, bytes, pad);
+        // Fault plane: a dropped reply was still *executed* and cached —
+        // the retransmitted request must hit the duplicate-request cache
+        // above, or non-idempotent calls (REMOVE, CREATE) would fail on
+        // replay. This is the case the cache exists for.
+        if !env.sim.faults().rpc_reply_drop() {
+            let _ = sock.send_padded(pkt.from, bytes, pad);
+        }
         if shutdown {
             return;
         }

@@ -35,6 +35,8 @@ pub enum Errno {
     EAGAIN,
     /// I/O error.
     EIO,
+    /// Operation timed out (e.g. an NFS hard-mount retry limit).
+    ETIMEDOUT,
 }
 
 impl std::fmt::Display for Errno {

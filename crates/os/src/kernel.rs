@@ -70,7 +70,9 @@ pub fn boot(os: Os, seed: u64) -> (Sim, Kernel) {
 }
 
 /// Boots a machine with an explicit cost table — used for the Section 13
-/// "next release" projections and for ablation experiments.
+/// "next release" projections and for ablation experiments. The fault
+/// profile comes from the process-wide ambient setting (`reproduce
+/// --faults`), off by default.
 pub fn boot_with(costs: OsCosts, seed: u64) -> (Sim, Kernel) {
     let tasks = Arc::new(AtomicUsize::new(0));
     let sim = Sim::new(
@@ -78,6 +80,7 @@ pub fn boot_with(costs: OsCosts, seed: u64) -> (Sim, Kernel) {
         SimConfig {
             seed,
             jitter: costs.jitter,
+            faults: tnt_sim::fault::ambient(),
         },
     );
     let kernel = Kernel::attach(&sim, costs, 0, tasks);
@@ -87,7 +90,19 @@ pub fn boot_with(costs: OsCosts, seed: u64) -> (Sim, Kernel) {
 /// Boots several machines into one simulation (e.g. NFS client and
 /// server). Machine `i` runs `oses[i]` and its processes must be spawned
 /// through its own kernel. Jitter follows the first (client) machine.
+/// Faults follow the ambient profile; use [`boot_cluster_with_faults`]
+/// for an explicit one.
 pub fn boot_cluster(oses: &[Os], seed: u64) -> (Sim, Vec<Kernel>) {
+    boot_cluster_with_faults(oses, seed, tnt_sim::fault::ambient())
+}
+
+/// [`boot_cluster`] with an explicit fault profile, for degradation
+/// sweeps that pin their own injection rates regardless of `--faults`.
+pub fn boot_cluster_with_faults(
+    oses: &[Os],
+    seed: u64,
+    faults: tnt_sim::fault::FaultProfile,
+) -> (Sim, Vec<Kernel>) {
     assert!(!oses.is_empty());
     let costs: Vec<OsCosts> = oses.iter().map(|o| OsCosts::for_os(*o)).collect();
     let task_counters: Vec<Arc<AtomicUsize>> =
@@ -102,6 +117,7 @@ pub fn boot_cluster(oses: &[Os], seed: u64) -> (Sim, Vec<Kernel>) {
         SimConfig {
             seed,
             jitter: costs[0].jitter,
+            faults,
         },
     );
     let kernels = costs

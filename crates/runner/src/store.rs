@@ -23,6 +23,12 @@ use crate::record::{ExperimentRecord, StatLine};
 /// Format version of `baselines.json`.
 pub const STORE_VERSION: f64 = 1.0;
 
+/// Absolute slack allowed when the blessed mean is exactly zero, where a
+/// relative (percent) tolerance is meaningless. Sized to forgive float
+/// noise only: every stat is rounded to a few decimals before blessing,
+/// so any real drift from zero clears this by orders of magnitude.
+pub const ZERO_MEAN_ABS_EPS: f64 = 1e-9;
+
 /// A set of blessed (or freshly measured) experiment records.
 #[derive(Clone, Debug, PartialEq)]
 pub struct BaselineStore {
@@ -238,21 +244,31 @@ impl BaselineStore {
                     });
                     continue;
                 };
-                // Mean: relative drift. A zero blessed mean falls back
-                // to absolute comparison against the tolerance itself.
-                let mean_drift = if bs.mean.abs() > f64::EPSILON {
-                    (fs.mean - bs.mean).abs() / bs.mean.abs() * 100.0
-                } else {
-                    (fs.mean - bs.mean).abs() * 100.0
-                };
-                if mean_drift > tolerance_pct {
+                // Mean: relative drift. Percent-of-zero is undefined, so
+                // a zero blessed mean compares the raw absolute diff
+                // against an explicit absolute epsilon instead — any
+                // measurable departure from an exactly-zero baseline is a
+                // drift, regardless of the percent tolerance.
+                if bs.mean.abs() > f64::EPSILON {
+                    let mean_drift = (fs.mean - bs.mean).abs() / bs.mean.abs() * 100.0;
+                    if mean_drift > tolerance_pct {
+                        drifts.push(Drift::StatDrift {
+                            id: blessed.id.clone(),
+                            label: bs.label.clone(),
+                            what: "mean",
+                            blessed: bs.mean,
+                            measured: fs.mean,
+                            drift_pct: mean_drift,
+                        });
+                    }
+                } else if (fs.mean - bs.mean).abs() > ZERO_MEAN_ABS_EPS {
                     drifts.push(Drift::StatDrift {
                         id: blessed.id.clone(),
                         label: bs.label.clone(),
                         what: "mean",
                         blessed: bs.mean,
                         measured: fs.mean,
-                        drift_pct: mean_drift,
+                        drift_pct: f64::INFINITY,
                     });
                 }
                 let sd_drift = (fs.sd_pct - bs.sd_pct).abs();
@@ -386,6 +402,35 @@ mod tests {
             id: "t2".into(),
             label: "FreeBSD".into()
         }));
+    }
+
+    #[test]
+    fn zero_mean_baseline_catches_real_drift() {
+        // A stat blessed at exactly 0.0 that measures 0.01 has drifted,
+        // full stop — no percent tolerance can express "percent of
+        // zero". The old ×100-vs-percent fallback let this through at
+        // any tolerance above 1.0.
+        let mut blessed = store();
+        blessed.records[0].stats[0].mean = 0.0;
+        let mut fresh = blessed.clone();
+        fresh.records[0].stats[0].mean = 0.01;
+        let drifts = blessed.compare(&fresh, 5.0);
+        assert_eq!(drifts.len(), 1, "expected one mean drift, got {drifts:?}");
+        assert!(matches!(
+            &drifts[0],
+            Drift::StatDrift { what: "mean", measured, .. } if (*measured - 0.01).abs() < 1e-12
+        ));
+    }
+
+    #[test]
+    fn zero_mean_baseline_forgives_float_noise() {
+        // Conversely, sub-epsilon noise on a zero mean is not a drift
+        // even at zero tolerance; the old fallback flagged it.
+        let mut blessed = store();
+        blessed.records[0].stats[0].mean = 0.0;
+        let mut fresh = blessed.clone();
+        fresh.records[0].stats[0].mean = 1e-12;
+        assert!(blessed.compare(&fresh, 0.0).is_empty());
     }
 
     #[test]

@@ -30,6 +30,7 @@ use std::thread::JoinHandle;
 use parking_lot::{Condvar, Mutex};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use tnt_fault::{FaultPlan, FaultProfile};
 use tnt_trace::{Class, Counter, Event, EventKind, Tracer};
 
 use crate::policy::{DispatchEnv, Pick, RunPolicy, Tid};
@@ -70,6 +71,10 @@ pub struct SimConfig {
     /// interrupt and cache noise so repeated runs have a non-zero standard
     /// deviation, as in the paper. Zero disables jitter.
     pub jitter: f64,
+    /// Fault-injection profile; [`FaultProfile::off`] (the default)
+    /// disables injection with zero RNG cost, leaving the run
+    /// bit-identical to a faultless build.
+    pub faults: FaultProfile,
 }
 
 impl Default for SimConfig {
@@ -77,6 +82,7 @@ impl Default for SimConfig {
         SimConfig {
             seed: 0,
             jitter: 0.0,
+            faults: FaultProfile::off(),
         }
     }
 }
@@ -254,6 +260,9 @@ struct Inner {
     /// Trace sink. Disabled by default (one relaxed load per emit site);
     /// auto-enabled when a `tnt_trace::session` is collecting.
     tracer: Tracer,
+    /// Fault-injection plan: the configured profile plus its own seeded
+    /// RNG stream, so fault rolls never perturb the jitter stream.
+    faults: FaultPlan,
 }
 
 thread_local! {
@@ -323,6 +332,7 @@ impl Sim {
                 done: Condvar::new(),
                 threads: Mutex::new(Vec::new()),
                 tracer: Tracer::new(),
+                faults: FaultPlan::new(config.faults, config.seed),
             }),
         };
         if tnt_trace::session::active() {
@@ -335,6 +345,13 @@ impl Sim {
     /// enabled; its counters run regardless).
     pub fn tracer(&self) -> &Tracer {
         &self.inner.tracer
+    }
+
+    /// The simulation's fault-injection plan. Device models roll their
+    /// fault probabilities here; with the default `off` profile every
+    /// roll is a free `false`.
+    pub fn faults(&self) -> &FaultPlan {
+        &self.inner.faults
     }
 
     /// Starts recording trace events into a fresh ring of `capacity`.
@@ -1167,7 +1184,7 @@ mod tests {
     use std::sync::atomic::{AtomicU64, Ordering};
 
     fn fifo_sim(seed: u64) -> Sim {
-        Sim::new(Box::new(FifoPolicy::new()), SimConfig { seed, jitter: 0.0 })
+        Sim::new(Box::new(FifoPolicy::new()), SimConfig { seed, ..SimConfig::default() })
     }
 
     #[test]
@@ -1324,7 +1341,7 @@ mod tests {
         let run = |seed| {
             let sim = Sim::new(
                 Box::new(FifoPolicy::new()),
-                SimConfig { seed, jitter: 0.02 },
+                SimConfig { seed, jitter: 0.02, ..SimConfig::default() },
             );
             for i in 0..4 {
                 sim.spawn(format!("p{i}"), |s| {

@@ -44,4 +44,8 @@ pub use stats::{normalize_higher_better, normalize_lower_better, Series, Summary
 // The tracing subsystem this engine reports into, re-exported so kernel
 // models and the harness share one set of attribution types.
 pub use tnt_trace as trace;
+
+// The fault-injection plane the engine hosts, re-exported so device
+// models and the harness share one set of profile/plan types.
+pub use tnt_fault as fault;
 pub use time::{mb_per_sec, mbit_per_sec, Cycles, CPU_HZ, MEGABIT, MEGABYTE};

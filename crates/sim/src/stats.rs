@@ -36,10 +36,18 @@ impl Summary {
     }
 
     /// Standard deviation as a percentage of the mean, the paper's
-    /// "Std Dev" column. Returns 0.0 when the mean is zero.
+    /// "Std Dev" column.
+    ///
+    /// Zero spread (including the `n == 1` case, where the sample sd is
+    /// defined as 0.0) reports 0.0. A zero mean with *nonzero* spread is
+    /// degenerate — the percentage is undefined — and reports
+    /// `f64::INFINITY` rather than masquerading as "no variance", so the
+    /// baseline gate can see the variance exists.
     pub fn sd_pct(&self) -> f64 {
-        if self.mean == 0.0 {
+        if self.sd == 0.0 {
             0.0
+        } else if self.mean == 0.0 {
+            f64::INFINITY
         } else {
             100.0 * self.sd / self.mean.abs()
         }
@@ -143,6 +151,28 @@ mod tests {
     #[should_panic(expected = "zero samples")]
     fn summary_empty_panics() {
         let _ = Summary::of(&[]);
+    }
+
+    #[test]
+    fn sd_pct_zero_mean_nonzero_spread_is_not_silently_zero() {
+        // Symmetric samples: mean 0, sd clearly nonzero. The old code
+        // reported 0.0 here, hiding real variance from the baseline gate.
+        let s = Summary::of(&[-1.0, 1.0]);
+        assert_eq!(s.mean, 0.0);
+        assert!(s.sd > 0.0);
+        assert!(
+            s.sd_pct().is_infinite(),
+            "zero-mean nonzero-sd must report the degenerate case, got {}",
+            s.sd_pct()
+        );
+    }
+
+    #[test]
+    fn sd_pct_zero_mean_zero_spread_is_zero() {
+        let s = Summary::of(&[0.0, 0.0, 0.0]);
+        assert_eq!(s.mean, 0.0);
+        assert_eq!(s.sd, 0.0);
+        assert_eq!(s.sd_pct(), 0.0);
     }
 
     #[test]

@@ -140,16 +140,28 @@ pub enum Counter {
     DiskWrites,
     /// Synchronous metadata writes (the FFS create/unlink tax).
     SyncMetaWrites,
+    /// Transient disk command failures injected by the fault plane.
+    DiskFaults,
+    /// Sector-remap latency spikes injected by the fault plane.
+    DiskRemaps,
     /// TCP segments carried.
     TcpSegments,
+    /// TCP segments retransmitted after a (injected) wire loss.
+    TcpRetransmits,
     /// Delayed ACKs scheduled (Linux 1.2.8's one-packet window stall).
     DelayedAcks,
     /// UDP datagrams carried.
     UdpDatagrams,
+    /// Frames the fault plane duplicated in flight.
+    NetDupFrames,
+    /// Frames the fault plane delivered late.
+    NetLateFrames,
     /// NFS RPCs issued by clients.
     RpcCalls,
     /// NFS RPC retransmissions.
     RpcRetransmits,
+    /// NFS RPC major timeouts (retry limit exhausted; ETIMEDOUT).
+    RpcMajorTimeouts,
     /// L1 cache misses in the memory-system model.
     L1Misses,
     /// L2 cache misses in the memory-system model.
@@ -162,7 +174,7 @@ pub enum Counter {
 
 impl Counter {
     /// Number of counters (array sizing).
-    pub const COUNT: usize = 18;
+    pub const COUNT: usize = 24;
 
     /// Every counter, in display order.
     pub const ALL: [Counter; Counter::COUNT] = [
@@ -175,11 +187,17 @@ impl Counter {
         Counter::DiskReads,
         Counter::DiskWrites,
         Counter::SyncMetaWrites,
+        Counter::DiskFaults,
+        Counter::DiskRemaps,
         Counter::TcpSegments,
+        Counter::TcpRetransmits,
         Counter::DelayedAcks,
         Counter::UdpDatagrams,
+        Counter::NetDupFrames,
+        Counter::NetLateFrames,
         Counter::RpcCalls,
         Counter::RpcRetransmits,
+        Counter::RpcMajorTimeouts,
         Counter::L1Misses,
         Counter::L2Misses,
         Counter::MemStallCycles,
@@ -198,11 +216,17 @@ impl Counter {
             Counter::DiskReads => "disk reads",
             Counter::DiskWrites => "disk writes",
             Counter::SyncMetaWrites => "sync meta writes",
+            Counter::DiskFaults => "disk faults",
+            Counter::DiskRemaps => "disk remaps",
             Counter::TcpSegments => "tcp segments",
+            Counter::TcpRetransmits => "tcp retransmits",
             Counter::DelayedAcks => "delayed acks",
             Counter::UdpDatagrams => "udp datagrams",
+            Counter::NetDupFrames => "net dup frames",
+            Counter::NetLateFrames => "net late frames",
             Counter::RpcCalls => "rpc calls",
             Counter::RpcRetransmits => "rpc retransmits",
+            Counter::RpcMajorTimeouts => "rpc major timeouts",
             Counter::L1Misses => "l1 misses",
             Counter::L2Misses => "l2 misses",
             Counter::MemStallCycles => "mem stall cycles",
