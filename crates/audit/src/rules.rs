@@ -1,4 +1,4 @@
-//! The deny-list: five determinism/correctness rules tuned to this
+//! The deny-list: six determinism/correctness rules tuned to this
 //! workspace.
 //!
 //! Each rule is a predicate over the lexed `code` view of a line (see
@@ -21,6 +21,11 @@
 //!   chain; errors must flow out as `SimError`.
 //! * `must-use-cycles` — everywhere: a dropped `Cycles` return is a
 //!   silently-lost charge, which breaks cycle conservation.
+//! * `host-thread-spawn` — everywhere except the engine itself
+//!   (`sim/src/engine.rs`, whose job is hosting simulated processes on
+//!   real threads) and the worker pool (`runner/src/pool.rs`): a host
+//!   thread spawned anywhere else runs outside the baton discipline,
+//!   and crowds belong on the lite scheduler, not on OS threads.
 
 use crate::lexer::Line;
 
@@ -37,16 +42,20 @@ pub enum Rule {
     Unwrap,
     /// `pub fn ... -> Cycles` without `#[must_use]`.
     MustUseCycles,
+    /// `thread::spawn`/`Builder`/`scope` outside the engine and the
+    /// worker pool.
+    HostThreadSpawn,
 }
 
 impl Rule {
     /// Every rule, in reporting order.
-    pub const ALL: [Rule; 5] = [
+    pub const ALL: [Rule; 6] = [
         Rule::HashmapIter,
         Rule::Wallclock,
         Rule::FloatEq,
         Rule::Unwrap,
         Rule::MustUseCycles,
+        Rule::HostThreadSpawn,
     ];
 
     /// The slug used in reports and `audit:allow(<slug>)` annotations.
@@ -57,6 +66,7 @@ impl Rule {
             Rule::FloatEq => "float-eq",
             Rule::Unwrap => "unwrap",
             Rule::MustUseCycles => "must-use-cycles",
+            Rule::HostThreadSpawn => "host-thread-spawn",
         }
     }
 
@@ -75,9 +85,12 @@ impl Rule {
                 in_crate(path, "harness") || in_crate(path, "core") || in_crate(path, "runner")
             }
             Rule::Unwrap => {
-                ["sim", "os", "fs", "net", "nfs", "trace"]
+                ["sim", "proc", "os", "fs", "net", "nfs", "trace"]
                     .iter()
                     .any(|c| in_crate(path, c))
+            }
+            Rule::HostThreadSpawn => {
+                !path.ends_with("sim/src/engine.rs") && !path.ends_with("runner/src/pool.rs")
             }
         }
     }
@@ -103,6 +116,10 @@ impl Rule {
                 "public function returns Cycles without #[must_use]; a dropped return is a \
                  silently-lost charge"
             }
+            Rule::HostThreadSpawn => {
+                "host thread spawned outside the engine/worker pool; simulated work belongs \
+                 on Sim::spawn (threaded) or the lite scheduler (crowds)"
+            }
         }
     }
 
@@ -115,6 +132,11 @@ impl Rule {
             Rule::FloatEq => float_literal_comparison(code),
             Rule::Unwrap => code.contains(".unwrap()"),
             Rule::MustUseCycles => false,
+            Rule::HostThreadSpawn => {
+                code.contains("thread::spawn")
+                    || code.contains("thread::Builder")
+                    || code.contains("thread::scope")
+            }
         }
     }
 }
@@ -339,6 +361,20 @@ mod tests {
         assert!(Rule::FloatEq.applies_to("crates/harness/src/plot.rs"));
         assert!(!Rule::FloatEq.applies_to("crates/sim/src/engine.rs"));
         assert!(Rule::Unwrap.applies_to("crates/sim/src/lock.rs"));
+        assert!(Rule::Unwrap.applies_to("crates/proc/src/lib.rs"));
         assert!(!Rule::Unwrap.applies_to("crates/harness/src/table.rs"));
+        assert!(Rule::HostThreadSpawn.applies_to("crates/os/src/kernel.rs"));
+        assert!(Rule::HostThreadSpawn.applies_to("crates/harness/src/plan.rs"));
+        assert!(!Rule::HostThreadSpawn.applies_to("crates/sim/src/engine.rs"));
+        assert!(!Rule::HostThreadSpawn.applies_to("crates/runner/src/pool.rs"));
+    }
+
+    #[test]
+    fn host_thread_spawn_detection() {
+        assert!(Rule::HostThreadSpawn.hits_line("std::thread::spawn(move || {})"));
+        assert!(Rule::HostThreadSpawn.hits_line("thread::Builder::new()"));
+        assert!(Rule::HostThreadSpawn.hits_line("std::thread::scope(|s| {})"));
+        assert!(!Rule::HostThreadSpawn.hits_line("sim.spawn(\"p\", |s| {})"));
+        assert!(!Rule::HostThreadSpawn.hits_line("thread::sleep(dur)"));
     }
 }

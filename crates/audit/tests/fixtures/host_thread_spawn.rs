@@ -1,0 +1,18 @@
+// Fixture for the host-thread-spawn rule.
+
+fn bare() {
+    let h = std::thread::spawn(|| {}); // line 4: bare hit
+    let _ = h.join();
+}
+
+fn allowed() {
+    // audit:allow(host-thread-spawn) watchdog thread, joined before any sim starts
+    let b = std::thread::Builder::new(); // line 10: allowed hit
+    let _ = b;
+}
+
+// thread::scope(...) in this comment must not hit.
+fn immune() {
+    let s = "thread::spawn in a string";
+    let _ = s;
+}

@@ -127,6 +127,35 @@ fn must_use_fixture() {
 }
 
 #[test]
+fn host_thread_spawn_fixture() {
+    let (findings, stale) = scan(
+        "crates/os/src/fixture.rs",
+        include_str!("fixtures/host_thread_spawn.rs"),
+    );
+    let hits = rule_findings(&findings, "host-thread-spawn");
+    assert_eq!(hits.len(), 2, "{hits:#?}");
+    assert_eq!(hits[0].line, 4, "thread::spawn violation");
+    assert!(hits[0].allowed.is_none());
+    assert_eq!(hits[1].line, 10, "thread::Builder allowed");
+    assert_eq!(
+        hits[1].allowed.as_deref(),
+        Some("watchdog thread, joined before any sim starts")
+    );
+    assert!(stale.is_empty());
+}
+
+#[test]
+fn host_thread_spawn_is_exempt_in_engine_and_pool() {
+    for path in ["crates/sim/src/engine.rs", "crates/runner/src/pool.rs"] {
+        let (findings, _) = scan(path, include_str!("fixtures/host_thread_spawn.rs"));
+        assert!(
+            rule_findings(&findings, "host-thread-spawn").is_empty(),
+            "{path} hosts real threads by design"
+        );
+    }
+}
+
+#[test]
 fn fixtures_have_no_cross_rule_noise() {
     // Each fixture should only ever trip its own rule: strings and
     // comments carrying other rules' trigger text must stay inert.

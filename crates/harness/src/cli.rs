@@ -21,6 +21,9 @@ pub enum Mode {
     Check,
     /// Time the suite serially and in parallel; write `BENCH_runner.json`.
     Bench,
+    /// Benchmark the threaded vs lite process models; write
+    /// `BENCH_engine.json`.
+    BenchEngine,
     /// Print every experiment id (including ablations) and exit.
     List,
     /// Print usage and exit.
@@ -67,7 +70,7 @@ pub struct Cli {
 /// The usage string printed by `--help` and prefixed to parse errors.
 pub fn usage() -> String {
     format!(
-        "usage: reproduce [bless|check|bench] [--quick|--full] [--jobs N] \
+        "usage: reproduce [bless|check|bench|bench-engine] [--quick|--full] [--jobs N] \
          [--tolerance PCT] [--profile] [--audit] [--faults off|smoke|lossy] \
          [--out DIR] [--markdown FILE] [ids...|all]\n\
          \n\
@@ -76,6 +79,9 @@ pub fn usage() -> String {
          \x20 bless    run, then write results/baselines.json (the golden baselines)\n\
          \x20 check    run, then fail loudly if any statistic drifted past --tolerance\n\
          \x20 bench    time the suite serially vs --jobs N; write BENCH_runner.json\n\
+         \x20 bench-engine  compare the threaded baton engine against the lite\n\
+         \x20          cooperative scheduler on one workload (events/s, handoffs/s,\n\
+         \x20          simulated Mcycles/s); write BENCH_engine.json\n\
          \n\
          --audit runs the cycle-conservation audit after the suite: every\n\
          profileable experiment is re-sampled under tracing and charged\n\
@@ -123,6 +129,7 @@ pub fn parse(args: Vec<String>) -> Result<Cli, String> {
             "bless" => cli.mode = Mode::Bless,
             "check" => cli.mode = Mode::Check,
             "bench" => cli.mode = Mode::Bench,
+            "bench-engine" => cli.mode = Mode::BenchEngine,
             "--list" => cli.mode = Mode::List,
             "--help" | "-h" => cli.mode = Mode::Help,
             "--quick" => cli.scale = ScaleKind::Quick,
@@ -249,6 +256,14 @@ mod tests {
         assert!(cli.audit);
         assert_eq!(cli.ids, vec!["t2", "t5"]);
         assert_eq!(cli.resolved_ids(), vec!["t2", "t5"]);
+    }
+
+    #[test]
+    fn bench_engine_parses() {
+        let cli = parse(args(&["bench-engine"])).unwrap();
+        assert_eq!(cli.mode, Mode::BenchEngine);
+        let cli = parse(args(&["bench-engine", "--out", "elsewhere"])).unwrap();
+        assert_eq!(cli.out_dir, PathBuf::from("elsewhere"));
     }
 
     #[test]

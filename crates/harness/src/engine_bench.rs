@@ -1,0 +1,163 @@
+//! The two-process-model micro-benchmark behind `reproduce bench-engine`.
+//!
+//! Both backends run the *same simulated workload* — a ring of processes
+//! that each charge 37 cycles per round, sleep 1,000 cycles every eighth
+//! round, and yield — once on the threaded baton engine and once as lite
+//! processes inside a single [`LiteScheduler`] slot. The simulated
+//! outcome (final time, total charged CPU) is byte-identical; only the
+//! host cost differs, which is exactly what the benchmark measures:
+//! events/sec, handoffs/sec and simulated Mcycles/sec per backend.
+
+use tnt_sim::proc::{LiteScheduler, ProcCtx, Step, WaitReason};
+use tnt_sim::{Cycles, FifoPolicy, Sim, SimConfig};
+
+/// Cycles charged per ring round.
+pub const RING_CHARGE: u64 = 37;
+/// Sleep length on every eighth round.
+pub const RING_SLEEP: u64 = 1_000;
+
+/// Outcome of one ring run on either backend.
+#[derive(Clone, Debug)]
+pub struct RingResult {
+    /// Final simulated time.
+    pub elapsed: Cycles,
+    /// Total CPU cycles charged across all ring members.
+    pub total_cpu: u64,
+    /// Scheduling handoffs: engine dispatches (threaded) or lite polls.
+    pub handoffs: u64,
+    /// Charges issued (`procs * rounds`, same on both backends).
+    pub charges: u64,
+    /// Host seconds for the run.
+    pub wall_s: f64,
+}
+
+fn ring_sim(seed: u64) -> Sim {
+    Sim::new(
+        Box::new(FifoPolicy::new()),
+        SimConfig {
+            seed,
+            jitter: 0.02, // exercise the scaled-charge path in both backends
+            ..SimConfig::default()
+        },
+    )
+}
+
+/// Runs the ring with one host thread per simulated process.
+pub fn threaded_ring(procs: u32, rounds: u32, seed: u64) -> RingResult {
+    // audit:allow(wallclock) bench mode measures host time by definition
+    let t0 = std::time::Instant::now();
+    let sim = ring_sim(seed);
+    let mut tids = Vec::new();
+    for p in 0..procs {
+        tids.push(sim.spawn(format!("ring{p}"), move |s| {
+            for r in 0..rounds {
+                s.charge(Cycles(RING_CHARGE));
+                if r % 8 == 3 {
+                    s.sleep(Cycles(RING_SLEEP));
+                }
+                s.yield_now();
+            }
+        }));
+    }
+    let elapsed = sim.run().expect("threaded ring failed");
+    let total_cpu = tids.iter().map(|t| sim.proc_cpu(*t).0).sum();
+    RingResult {
+        elapsed,
+        total_cpu,
+        handoffs: sim.dispatch_count(),
+        charges: u64::from(procs) * u64::from(rounds),
+        wall_s: t0.elapsed().as_secs_f64(),
+    }
+}
+
+/// Runs the same ring as lite processes in one engine slot.
+pub fn lite_ring(procs: u32, rounds: u32, seed: u64) -> RingResult {
+    // audit:allow(wallclock) bench mode measures host time by definition
+    let t0 = std::time::Instant::now();
+    let sim = ring_sim(seed);
+    let mut sched = LiteScheduler::new(&sim);
+    for p in 0..procs {
+        let mut r = 0u32;
+        let mut phase = 0u8;
+        sched.spawn(
+            &format!("ring{p}"),
+            Box::new(move |_: &mut ProcCtx| {
+                if r == rounds {
+                    return Step::Done;
+                }
+                phase += 1;
+                match phase {
+                    1 => Step::Charge(RING_CHARGE),
+                    2 if r % 8 == 3 => Step::Block(WaitReason::Sleep(RING_SLEEP)),
+                    _ => {
+                        phase = 0;
+                        r += 1;
+                        Step::Yield
+                    }
+                }
+            }),
+        );
+    }
+    let handle = sched.start("ring-sched");
+    let elapsed = sim.run().expect("lite ring failed");
+    let stats = handle.stats();
+    RingResult {
+        elapsed,
+        total_cpu: stats.cpu_by_pid.iter().map(|(_, cpu)| cpu).sum(),
+        handoffs: stats.polls,
+        charges: u64::from(procs) * u64::from(rounds),
+        wall_s: t0.elapsed().as_secs_f64(),
+    }
+}
+
+impl RingResult {
+    /// Scheduling handoffs per host second.
+    pub fn handoffs_per_s(&self) -> f64 {
+        self.handoffs as f64 / self.wall_s.max(1e-9)
+    }
+
+    /// Simulation events (handoffs + charges) per host second.
+    pub fn events_per_s(&self) -> f64 {
+        (self.handoffs + self.charges) as f64 / self.wall_s.max(1e-9)
+    }
+
+    /// Simulated megacycles retired per host second.
+    pub fn sim_mcycles_per_s(&self) -> f64 {
+        self.elapsed.0 as f64 / 1e6 / self.wall_s.max(1e-9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The tentpole's byte-identity claim: the threaded ring and its
+    /// lite twin produce the same simulated outcome from the same seed —
+    /// final clock and total charged CPU — even with jitter on. Only the
+    /// handoff accounting differs (dispatches vs polls), by design.
+    #[test]
+    fn threaded_and_lite_rings_are_byte_identical() {
+        for seed in [0, 7, 1996] {
+            let threaded = threaded_ring(24, 40, seed);
+            let lite = lite_ring(24, 40, seed);
+            assert_eq!(
+                threaded.elapsed, lite.elapsed,
+                "seed {seed}: simulated clock diverged"
+            );
+            assert_eq!(
+                threaded.total_cpu, lite.total_cpu,
+                "seed {seed}: charged CPU diverged"
+            );
+            assert_eq!(threaded.charges, lite.charges);
+        }
+    }
+
+    #[test]
+    fn lite_ring_is_deterministic() {
+        let a = lite_ring(16, 24, 3);
+        let b = lite_ring(16, 24, 3);
+        assert_eq!(a.elapsed, b.elapsed);
+        assert_eq!(a.total_cpu, b.total_cpu);
+        assert_eq!(a.handoffs, b.handoffs);
+    }
+}

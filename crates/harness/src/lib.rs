@@ -27,6 +27,7 @@
 mod ablations;
 mod audit;
 pub mod cli;
+mod engine_bench;
 mod experiments;
 mod plan;
 mod plot;
@@ -36,6 +37,7 @@ mod table;
 
 pub use ablations::{extra_ids, run_extra};
 pub use audit::{conservation_audit, AuditFinding, AuditReport};
+pub use engine_bench::{lite_ring, threaded_ring, RingResult, RING_CHARGE, RING_SLEEP};
 pub use experiments::{all_ids, bonnie_figures, run_many, run_one, ExperimentOutput};
 pub use plan::{execute, plan, Cell, ExperimentPlan, ExperimentResult, PlanBody};
 pub use plot::{Figure, XScale};

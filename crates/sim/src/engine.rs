@@ -40,6 +40,29 @@ use crate::time::Cycles;
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub struct WaitId(u64);
 
+impl WaitId {
+    /// The raw token lite processes use to name this queue in
+    /// `WaitReason::Queue` (see `tnt_sim::proc`); meaningless outside
+    /// the simulation that allocated it.
+    #[must_use]
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+/// An entry on an engine wait queue: either a parked thread-backed
+/// process, or a lite process's wakeup token routed to its scheduler.
+/// One queue can hold both kinds, so every blocking primitive built on
+/// wait queues (SimMutex, pipes, channels) is lite-aware for free.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Waiter {
+    /// A threaded process; waking it unparks its thread.
+    Thread(Tid),
+    /// A lite process: waking it pushes `token` into the owning
+    /// scheduler's mailbox and rings the scheduler's doorbell.
+    Lite { sched: Tid, token: u64 },
+}
+
 /// Why a simulation failed.
 #[derive(Clone, Debug, PartialEq)]
 pub enum SimError {
@@ -172,6 +195,19 @@ enum TimerAction {
     QueueAll(u64),
 }
 
+/// Engine-side registration of one lite scheduler (see `tnt_sim::proc`):
+/// the thread-backed process that multiplexes a crowd of lite processes.
+struct LiteSched {
+    /// The wait queue the scheduler parks on when no lite process is
+    /// runnable; delivered wakeup tokens ring it.
+    doorbell: u64,
+    /// Wakeup tokens delivered since the scheduler last drained them.
+    mailbox: Vec<u64>,
+    /// Tokens currently parked on engine queues, with their block
+    /// reasons (surfaced by deadlock diagnostics).
+    waiting: BTreeMap<u64, &'static str>,
+}
+
 struct State {
     now: Cycles,
     timer_seq: u64,
@@ -180,7 +216,9 @@ struct State {
     policy: Box<dyn RunPolicy>,
     current: Option<Tid>,
     live: usize,
-    queues: BTreeMap<u64, VecDeque<Tid>>,
+    queues: BTreeMap<u64, VecDeque<Waiter>>,
+    /// Registered lite schedulers, keyed by their engine tid.
+    lite: BTreeMap<Tid, LiteSched>,
     rng: StdRng,
     run_factor: f64,
     next_tid: u32,
@@ -267,6 +305,33 @@ struct Inner {
 
 thread_local! {
     static CURRENT: Cell<Option<Tid>> = const { Cell::new(None) };
+    /// Virtual pid of the lite process being polled on this thread, if
+    /// any: trace events stamp it instead of the scheduler's tid.
+    static LITE_PID: Cell<Option<u32>> = const { Cell::new(None) };
+    /// Set while a lite process's `poll` runs; parking primitives check
+    /// it so a lite process that blocks the host thread fails loudly.
+    static IN_LITE_POLL: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Scope guard marking "this thread is polling lite process `pid`".
+/// While it lives, trace events carry the lite pid and any call into a
+/// parking primitive (`wait_on`, `sleep`, `yield_now`, ...) panics —
+/// lite processes block by *returning* `Step::Block` from `poll`.
+pub(crate) struct LitePollGuard;
+
+impl LitePollGuard {
+    pub(crate) fn new(pid: u32) -> LitePollGuard {
+        LITE_PID.with(|c| c.set(Some(pid)));
+        IN_LITE_POLL.with(|c| c.set(true));
+        LitePollGuard
+    }
+}
+
+impl Drop for LitePollGuard {
+    fn drop(&mut self) {
+        LITE_PID.with(|c| c.set(None));
+        IN_LITE_POLL.with(|c| c.set(false));
+    }
 }
 
 /// Installs (once per program) a panic hook that silences the internal
@@ -315,6 +380,7 @@ impl Sim {
             current: None,
             live: 0,
             queues: BTreeMap::new(),
+            lite: BTreeMap::new(),
             rng,
             run_factor,
             next_tid: 1,
@@ -385,10 +451,15 @@ impl Sim {
         }
     }
 
-    /// Timestamp + pid for an event emitted by the calling thread.
+    /// Timestamp + pid for an event emitted by the calling thread. A
+    /// lite process being polled overrides the scheduler's own tid, so
+    /// attribution is per lite process, not per scheduler slot.
     fn stamp(&self) -> (u64, u32) {
         let now = self.inner.state.lock().now.0;
-        let pid = CURRENT.with(|c| c.get()).map_or(0, |t| t.0);
+        let pid = LITE_PID
+            .with(|c| c.get())
+            .or_else(|| CURRENT.with(|c| c.get()).map(|t| t.0))
+            .unwrap_or(0);
         (now, pid)
     }
 
@@ -526,6 +597,37 @@ impl Sim {
     /// any timers that come due along the way. Does not yield the baton.
     pub fn advance(&self, c: Cycles) {
         let mut st = self.inner.state.lock();
+        self.advance_locked(&mut st, c);
+    }
+
+    /// Like [`Sim::advance`], but scales the charge by the configured
+    /// jitter factor. Use for modelled CPU costs so that repeated runs with
+    /// different seeds exhibit a realistic standard deviation.
+    pub fn charge(&self, c: Cycles) {
+        let _ = self.charge_scaled(c);
+    }
+
+    /// Like [`Sim::charge`] but returns the scaled amount actually
+    /// advanced — the lite scheduler mirrors it into its per-process
+    /// accounts so threaded and lite accounting stay byte-identical.
+    #[must_use]
+    pub(crate) fn charge_scaled(&self, c: Cycles) -> Cycles {
+        // The hottest call in the engine — every modelled cost goes
+        // through it — so the jitter scale and the clock advance share
+        // one lock acquisition instead of the two this used to take.
+        let mut st = self.inner.state.lock();
+        let scaled = if st.run_factor == 1.0 {
+            c
+        } else {
+            c.scale(st.run_factor)
+        };
+        self.advance_locked(&mut st, scaled);
+        scaled
+    }
+
+    /// The body of [`Sim::advance`], for callers already holding the
+    /// state lock.
+    fn advance_locked(&self, st: &mut State, c: Cycles) {
         // Attribute the CPU burn to the running process, if any (host
         // code may also advance the clock during setup).
         if let Some(cur) = st.current {
@@ -543,33 +645,21 @@ impl Sim {
             if at > st.now {
                 st.now = at;
             }
-            self.fire_locked(&mut st, action);
+            self.fire_locked(st, action);
         }
         if target > st.now {
             st.now = target;
         }
         if c > Cycles::ZERO && self.inner.tracer.is_enabled() {
+            let pid = LITE_PID
+                .with(|cell| cell.get())
+                .unwrap_or_else(|| st.current.map_or(0, |t| t.0));
             self.inner.tracer.record(Event {
                 t: st.now.0,
-                pid: st.current.map_or(0, |t| t.0),
+                pid,
                 kind: EventKind::Charge { cy: c.0 },
             });
         }
-    }
-
-    /// Like [`Sim::advance`], but scales the charge by the configured
-    /// jitter factor. Use for modelled CPU costs so that repeated runs with
-    /// different seeds exhibit a realistic standard deviation.
-    pub fn charge(&self, c: Cycles) {
-        let scaled = {
-            let st = self.inner.state.lock();
-            if st.run_factor == 1.0 {
-                c
-            } else {
-                c.scale(st.run_factor)
-            }
-        };
-        self.advance(scaled);
     }
 
     /// Draws from the simulation's deterministic RNG.
@@ -630,7 +720,7 @@ impl Sim {
         st.queues
             .get_mut(&q.0)
             .expect("wait queue does not exist")
-            .push_back(tid);
+            .push_back(Waiter::Thread(tid));
         st.procs.get_mut(&tid).expect("current proc missing").status = Status::Blocked(reason);
         self.block_current(st, tid);
     }
@@ -644,7 +734,7 @@ impl Sim {
         st.queues
             .get_mut(&q.0)
             .expect("wait queue does not exist")
-            .push_back(tid);
+            .push_back(Waiter::Thread(tid));
         let proc = st.procs.get_mut(&tid).expect("current proc missing");
         proc.status = Status::Blocked(reason);
         // The generation this block will run under (block_current bumps).
@@ -680,7 +770,7 @@ impl Sim {
             st.queues
                 .get_mut(&q.0)
                 .expect("wait queue does not exist")
-                .push_back(tid);
+                .push_back(Waiter::Thread(tid));
         }
         let proc = st.procs.get_mut(&tid).expect("current proc missing");
         proc.status = Status::Blocked(reason);
@@ -707,7 +797,7 @@ impl Sim {
         };
         for q in qs {
             if let Some(queue) = st.queues.get_mut(&q.0) {
-                queue.retain(|t| *t != tid);
+                queue.retain(|w| *w != Waiter::Thread(tid));
             }
         }
         if timed_out {
@@ -798,6 +888,88 @@ impl Sim {
     /// the event counting the paper's Section 13 wishes for.
     pub fn dispatch_count(&self) -> u64 {
         self.inner.state.lock().dispatches
+    }
+
+    // ------------------------------------------------------------------
+    // Lite-scheduler plumbing (see `crate::lite`). A lite scheduler is
+    // an ordinary engine process that multiplexes thousands of
+    // cooperative state machines; these hooks let engine wait queues
+    // deliver wakeups to it as mailbox tokens instead of baton handoffs.
+    // ------------------------------------------------------------------
+
+    /// Registers the calling engine process as a lite scheduler whose
+    /// host thread parks on `doorbell`.
+    pub(crate) fn register_lite_sched(&self, doorbell: WaitId) {
+        let tid = current_tid();
+        let mut st = self.inner.state.lock();
+        let prev = st.lite.insert(
+            tid,
+            LiteSched {
+                doorbell: doorbell.0,
+                mailbox: Vec::new(),
+                waiting: BTreeMap::new(),
+            },
+        );
+        assert!(prev.is_none(), "process is already a lite scheduler");
+    }
+
+    /// Unregisters the calling lite scheduler (its drive loop returned).
+    pub(crate) fn unregister_lite_sched(&self) {
+        let tid = current_tid();
+        self.inner.state.lock().lite.remove(&tid);
+    }
+
+    /// Parks lite-process `token` of the calling scheduler on engine wait
+    /// queue `q`. The next `wakeup_one`/`wakeup_all` on `q` that reaches
+    /// this entry pushes `token` into the scheduler's mailbox and rings
+    /// its doorbell — no host thread blocks.
+    pub(crate) fn lite_wait_enqueue(&self, q: u64, token: u64, reason: &'static str) {
+        let tid = current_tid();
+        let mut st = self.inner.state.lock();
+        let ls = st
+            .lite
+            .get_mut(&tid)
+            .expect("lite_wait_enqueue from a non-scheduler process");
+        let prev = ls.waiting.insert(token, reason);
+        assert!(prev.is_none(), "lite process is already parked on a queue");
+        st.queues
+            .get_mut(&q)
+            .expect("wait queue does not exist")
+            .push_back(Waiter::Lite { sched: tid, token });
+    }
+
+    /// Drains the calling scheduler's mailbox: tokens whose wakeups have
+    /// been delivered since the last drain, in delivery order.
+    pub(crate) fn lite_take_mailbox(&self) -> Vec<u64> {
+        let tid = current_tid();
+        let mut st = self.inner.state.lock();
+        st.lite
+            .get_mut(&tid)
+            .map_or_else(Vec::new, |ls| std::mem::take(&mut ls.mailbox))
+    }
+
+    /// Allocates a fresh pid for a lite process and emits its Spawn
+    /// event. Lite pids share the engine's tid namespace so traces stay
+    /// unambiguous, but no `Proc` entry (and no host thread) backs them.
+    pub(crate) fn alloc_lite_pid(&self, name: &str) -> u32 {
+        let mut st = self.inner.state.lock();
+        let pid = st.next_tid;
+        st.next_tid += 1;
+        if self.inner.tracer.is_enabled() {
+            self.inner.tracer.record(Event {
+                t: st.now.0,
+                pid,
+                kind: EventKind::Spawn(name.to_string()),
+            });
+        }
+        pid
+    }
+
+    /// Number of engine processes currently queued runnable (excludes
+    /// the caller). Lite schedulers use this to decide whether yielding
+    /// the baton between polls would actually let anyone else run.
+    pub(crate) fn runnable_procs(&self) -> usize {
+        self.inner.state.lock().policy.runnable()
     }
 
     // ------------------------------------------------------------------
@@ -894,6 +1066,12 @@ impl Sim {
     /// Marks the caller blocked (status must already be set), dispatches
     /// the next process, releases the lock, and parks until woken.
     fn block_current(&self, mut st: parking_lot::MutexGuard<'_, State>, tid: Tid) {
+        assert!(
+            !IN_LITE_POLL.with(|c| c.get()),
+            "a lite process called a blocking engine primitive from inside poll(); \
+             lite processes block by returning Step::Block, never by parking the \
+             host thread"
+        );
         #[cfg(feature = "audit")]
         {
             let held = crate::audit::held_host_guards();
@@ -988,9 +1166,12 @@ impl Sim {
                     .procs
                     .iter()
                     .filter_map(|(tid, p)| match p.status {
-                        Status::Blocked(r) => {
-                            Some(format!("{} ({r}){}", p.name, lost_wakeup_hint(st, *tid)))
-                        }
+                        Status::Blocked(r) => Some(format!(
+                            "{} ({r}){}{}",
+                            p.name,
+                            lite_wait_hint(st, *tid),
+                            lost_wakeup_hint(st, *tid)
+                        )),
                         _ => None,
                     })
                     .collect();
@@ -1023,7 +1204,7 @@ impl Sim {
                 };
                 if !stale {
                     if let Some(queue) = st.queues.get_mut(&q) {
-                        queue.retain(|t| *t != tid);
+                        queue.retain(|w| *w != Waiter::Thread(tid));
                     }
                     let proc = st.procs.get_mut(&tid).expect("checked above");
                     proc.status = Status::Runnable;
@@ -1056,25 +1237,52 @@ impl Sim {
 
     fn wake_from_queue_locked(&self, st: &mut State, q: u64) -> bool {
         loop {
-            let tid = match st.queues.get_mut(&q).and_then(|d| d.pop_front()) {
-                Some(t) => t,
+            let waiter = match st.queues.get_mut(&q).and_then(|d| d.pop_front()) {
+                Some(w) => w,
                 None => return false,
             };
-            let proc = st.procs.get_mut(&tid).expect("queued proc missing");
-            // Skip stale entries: a proc that waited on several queues
-            // (`wait_on_any`) was already woken through another of them.
-            if !matches!(proc.status, Status::Blocked(_)) {
-                continue;
+            match waiter {
+                Waiter::Thread(tid) => {
+                    let proc = st.procs.get_mut(&tid).expect("queued proc missing");
+                    // Skip stale entries: a proc that waited on several
+                    // queues (`wait_on_any`) was already woken through
+                    // another of them.
+                    if !matches!(proc.status, Status::Blocked(_)) {
+                        continue;
+                    }
+                    proc.status = Status::Runnable;
+                    proc.woken_by = Some(q);
+                    let tag = proc.tag;
+                    st.policy.enqueue(tid, tag);
+                    // A delivered signal supersedes any earlier
+                    // into-the-void signal on this queue.
+                    #[cfg(feature = "audit")]
+                    st.audit.empty_signals.remove(&q);
+                    return true;
+                }
+                Waiter::Lite { sched, token } => {
+                    // Deliver the token to the scheduler's mailbox. A
+                    // scheduler that unregistered, or a token already
+                    // cancelled (lite proc woken via another path), is
+                    // stale — keep popping.
+                    let Some(ls) = st.lite.get_mut(&sched) else {
+                        continue;
+                    };
+                    if ls.waiting.remove(&token).is_none() {
+                        continue;
+                    }
+                    ls.mailbox.push(token);
+                    let doorbell = ls.doorbell;
+                    // Ring the scheduler's doorbell so its host thread
+                    // (if parked) becomes runnable. The doorbell queue
+                    // only ever holds Thread waiters, so this recursion
+                    // is depth-1.
+                    self.wake_from_queue_locked(st, doorbell);
+                    #[cfg(feature = "audit")]
+                    st.audit.empty_signals.remove(&q);
+                    return true;
+                }
             }
-            proc.status = Status::Runnable;
-            proc.woken_by = Some(q);
-            let tag = proc.tag;
-            st.policy.enqueue(tid, tag);
-            // A delivered signal supersedes any earlier into-the-void
-            // signal on this queue.
-            #[cfg(feature = "audit")]
-            st.audit.empty_signals.remove(&q);
-            return true;
         }
     }
 
@@ -1115,6 +1323,31 @@ impl Sim {
     }
 }
 
+/// For a blocked lite scheduler, summarises what its lite processes are
+/// waiting for — a deadlock involving lite procs would otherwise show
+/// only an opaque scheduler parked on its doorbell.
+fn lite_wait_hint(st: &State, tid: Tid) -> String {
+    let Some(ls) = st.lite.get(&tid) else {
+        return String::new();
+    };
+    if ls.waiting.is_empty() {
+        return String::new();
+    }
+    let mut by_reason: BTreeMap<&'static str, usize> = BTreeMap::new();
+    for reason in ls.waiting.values() {
+        *by_reason.entry(reason).or_insert(0) += 1;
+    }
+    let parts: Vec<String> = by_reason
+        .iter()
+        .map(|(r, n)| format!("{r} x{n}"))
+        .collect();
+    format!(
+        " [{} lite proc(s) waiting: {}]",
+        ls.waiting.len(),
+        parts.join(", ")
+    )
+}
+
 /// Builds the lost-wakeup diagnosis for a blocked process: names every
 /// queue it waits on whose most recent signal found zero waiters — the
 /// classic signal-before-wait race, surfaced at deadlock time.
@@ -1122,7 +1355,7 @@ impl Sim {
 fn lost_wakeup_hint(st: &State, tid: Tid) -> String {
     let mut hints = Vec::new();
     for (q, waiters) in &st.queues {
-        if waiters.contains(&tid) {
+        if waiters.iter().any(|w| *w == Waiter::Thread(tid)) {
             if let Some(at) = st.audit.empty_signals.get(q) {
                 hints.push(format!(
                     " [possible lost wakeup: queue {q} was last signalled at t={} with no \

@@ -29,17 +29,28 @@
 //! ```
 
 mod audit;
+mod chan;
 mod engine;
+mod lite;
 mod lock;
 mod policy;
 mod stats;
 mod time;
 
 pub use audit::HostGuard;
+pub use chan::SimChannel;
 pub use engine::{Sim, SimConfig, SimError, TraceSpan, WaitId};
 pub use lock::SimMutex;
 pub use policy::{DispatchEnv, FifoPolicy, Pick, RunPolicy, Tid};
 pub use stats::{normalize_higher_better, normalize_lower_better, Series, Summary};
+
+/// The cooperative lite-process model: `tnt-proc`'s engine-agnostic
+/// core re-exported next to the glue that runs it inside one engine
+/// slot. See DESIGN.md, "Two process models".
+pub mod proc {
+    pub use crate::lite::{block_on, LiteHandle, LiteScheduler, LiteStats, ProcCtx};
+    pub use tnt_proc::{Core, Lid, LiteProc, Step, WaitReason};
+}
 
 // The tracing subsystem this engine reports into, re-exported so kernel
 // models and the harness share one set of attribution types.

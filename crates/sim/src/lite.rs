@@ -1,0 +1,419 @@
+//! The lite-scheduler glue: runs a `tnt_proc::Core` inside one engine
+//! slot.
+//!
+//! The baton engine gives every simulated process a host thread; a
+//! [`LiteScheduler`] is one such process that multiplexes thousands of
+//! cooperative [`LiteProc`] state machines through a single slot. The
+//! two models share everything observable: the engine's clock and run
+//! policy (the scheduler yields the baton whenever threaded processes
+//! are runnable), its timer queue (lite sleeps become scheduler
+//! timeouts), trace attribution (each lite process has its own pid from
+//! the engine's tid namespace), and its wait queues (a lite process
+//! blocking on a `WaitId` parks a mailbox token, never a host thread —
+//! see `Waiter::Lite` in the engine).
+//!
+//! Determinism carries over unchanged: the core's run queue is FIFO, its
+//! sleep heap breaks ties by arming order, and mailbox tokens are
+//! delivered in wakeup order, so two same-seed runs are byte-identical.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use tnt_proc::{Core, Lid, LiteProc, Step, WaitReason};
+
+use crate::engine::{LitePollGuard, Sim, WaitId};
+use crate::time::Cycles;
+use crate::trace::Counter;
+
+/// The context a [`LiteScheduler`] threads through every `poll`: the
+/// engine handle plus the identity of the process being polled.
+pub struct ProcCtx {
+    sim: Sim,
+    pid: u32,
+    spawns: Vec<(String, Box<dyn LiteProc<ProcCtx>>)>,
+}
+
+impl ProcCtx {
+    /// The simulation engine. Non-blocking calls only — a lite process
+    /// that calls a blocking primitive from inside `poll` fails the
+    /// engine's host-park assertion; block by returning [`Step::Block`].
+    pub fn sim(&self) -> &Sim {
+        &self.sim
+    }
+
+    /// The virtual pid of the process being polled (trace attribution
+    /// uses it automatically for charges made during the poll).
+    pub fn pid(&self) -> u32 {
+        self.pid
+    }
+
+    /// Spawns a sibling lite process into the same scheduler; it becomes
+    /// runnable after the current poll returns.
+    pub fn spawn(&mut self, name: impl Into<String>, machine: Box<dyn LiteProc<ProcCtx>>) {
+        self.spawns.push((name.into(), machine));
+    }
+}
+
+/// Builds the [`Step`] that blocks a lite process on an engine wait
+/// queue — the lite analogue of [`Sim::wait_on`]. The next
+/// `wakeup_one`/`wakeup_all` on `q` that reaches this process resumes
+/// it, without waking any host thread.
+pub fn block_on(q: WaitId, reason: &'static str) -> Step {
+    Step::Block(WaitReason::Queue {
+        queue: q.raw(),
+        reason,
+    })
+}
+
+/// Final accounting of a finished [`LiteScheduler`] run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LiteStats {
+    /// Total lite dispatches (`Core::polls`) — the crowd analogue of the
+    /// engine's dispatch count.
+    pub polls: u64,
+    /// Per-process `(pid, cpu)` in spawn order; byte-stable across
+    /// same-seed runs, so tests can checksum it.
+    pub cpu_by_pid: Vec<(u32, u64)>,
+}
+
+/// Handle to a running (or finished) lite scheduler.
+pub struct LiteHandle {
+    stats: Arc<Mutex<Option<LiteStats>>>,
+}
+
+impl LiteHandle {
+    /// The scheduler's final accounting. Panics if called before the
+    /// scheduler's drive loop has finished (i.e. before `Sim::run`
+    /// returned).
+    pub fn stats(&self) -> LiteStats {
+        self.stats
+            .lock()
+            .clone()
+            .expect("lite scheduler has not finished")
+    }
+}
+
+/// A cooperative scheduler occupying one engine slot and running a crowd
+/// of lite processes inside it.
+///
+/// Build it on the host, [`LiteScheduler::spawn`] the initial crowd,
+/// then [`LiteScheduler::start`] it before `Sim::run`. Lite processes
+/// spawned at runtime go through [`ProcCtx::spawn`].
+pub struct LiteScheduler {
+    sim: Sim,
+    core: Core<ProcCtx>,
+    switch_cost: Cycles,
+}
+
+impl LiteScheduler {
+    /// Creates an empty scheduler for `sim`.
+    pub fn new(sim: &Sim) -> LiteScheduler {
+        LiteScheduler {
+            sim: sim.clone(),
+            core: Core::new(),
+            switch_cost: Cycles::ZERO,
+        }
+    }
+
+    /// Sets the simulated cost charged per lite dispatch (default zero,
+    /// matching a zero-cost `RunPolicy`).
+    pub fn switch_cost(mut self, cost: Cycles) -> LiteScheduler {
+        self.switch_cost = cost;
+        self
+    }
+
+    /// Adds a lite process to the initial crowd. Its pid comes from the
+    /// engine's tid namespace, so traces distinguish every lite process
+    /// from every threaded one.
+    pub fn spawn(&mut self, name: &str, machine: Box<dyn LiteProc<ProcCtx>>) -> Lid {
+        let pid = self.sim.alloc_lite_pid(name);
+        self.core.spawn(pid, machine)
+    }
+
+    /// Spawns the scheduler's engine process (named `name`) and returns
+    /// a handle for post-run statistics.
+    pub fn start(self, name: impl Into<String>) -> LiteHandle {
+        let LiteScheduler {
+            sim,
+            mut core,
+            switch_cost,
+        } = self;
+        let stats = Arc::new(Mutex::new(None));
+        let out = stats.clone();
+        sim.spawn(name, move |s| {
+            drive(s, &mut core, switch_cost);
+            *out.lock() = Some(LiteStats {
+                polls: core.polls(),
+                cpu_by_pid: core.cpu_by_pid(),
+            });
+        });
+        LiteHandle { stats }
+    }
+}
+
+/// The scheduler's drive loop: runs inside the engine process.
+fn drive(sim: &Sim, core: &mut Core<ProcCtx>, switch_cost: Cycles) {
+    let doorbell = sim.new_queue();
+    sim.register_lite_sched(doorbell);
+    let mut ctx = ProcCtx {
+        sim: sim.clone(),
+        pid: 0,
+        spawns: Vec::new(),
+    };
+    // A process that yielded last timeslice requeues only *after* the
+    // wakeups its own charges caused: in the threaded model a sleeper
+    // whose deadline is crossed mid-charge enqueues before the running
+    // process yields, and keeping that order is what makes a lite ring
+    // byte-identical to its threaded twin.
+    let mut yielded: Option<Lid> = None;
+    loop {
+        // Wakeups delivered by other processes since we last looked.
+        for token in sim.lite_take_mailbox() {
+            core.wake(Lid(token as u32));
+        }
+        core.fire_due(sim.now().0);
+        if let Some(lid) = yielded.take() {
+            core.yield_to_back(lid);
+        }
+
+        if let Some(lid) = core.next_runnable() {
+            if switch_cost > Cycles::ZERO {
+                sim.charge(switch_cost);
+            }
+            sim.count(Counter::LiteDispatches, 1);
+            ctx.pid = core.pid(lid);
+            // While the guard lives, charges and spans from inside
+            // `poll` are attributed to the lite process, and blocking
+            // engine primitives are rejected.
+            let guard = LitePollGuard::new(ctx.pid);
+            loop {
+                match core.poll(lid, &mut ctx) {
+                    Step::Charge(cy) => {
+                        // Record the *scaled* amount, matching what the
+                        // engine accounts to a threaded process.
+                        let scaled = sim.charge_scaled(Cycles(cy));
+                        core.charge(lid, scaled.0);
+                    }
+                    Step::Yield => {
+                        yielded = Some(lid);
+                        break;
+                    }
+                    Step::Block(WaitReason::Sleep(d)) => {
+                        core.sleep_until(lid, sim.now().0 + d);
+                        break;
+                    }
+                    Step::Block(WaitReason::Until(at)) => {
+                        core.sleep_until(lid, at);
+                        break;
+                    }
+                    Step::Block(WaitReason::Queue { queue, reason }) => {
+                        // Park on the engine queue *before* any chance
+                        // of losing the baton: processes are atomic
+                        // between blocking calls, so the check the lite
+                        // process made inside this poll is still valid.
+                        core.wait(lid, reason);
+                        sim.lite_wait_enqueue(queue, u64::from(lid.0), reason);
+                        break;
+                    }
+                    Step::Done => {
+                        core.finish(lid);
+                        break;
+                    }
+                }
+            }
+            drop(guard);
+            for (name, machine) in ctx.spawns.drain(..) {
+                let pid = sim.alloc_lite_pid(&name);
+                core.spawn(pid, machine);
+            }
+            // Fairness with the threaded world: if any engine process is
+            // queued runnable, offer the baton. A pure-lite simulation
+            // never pays this (the run queue stays empty).
+            if sim.runnable_procs() > 0 {
+                sim.yield_now();
+            }
+            continue;
+        }
+
+        if core.live() == 0 {
+            break;
+        }
+        // Nothing runnable: park until the next lite sleeper is due or
+        // the doorbell rings, whichever comes first. The mailbox was
+        // drained above and we hold the baton, so no wakeup can slip in
+        // between the check and the wait.
+        match core.next_wake() {
+            Some(at) => {
+                let now = sim.now().0;
+                if at > now {
+                    sim.wait_on_timeout(doorbell, Cycles(at - now), "lite sleepers");
+                }
+            }
+            None => sim.wait_on(doorbell, "lite procs waiting"),
+        }
+    }
+    sim.unregister_lite_sched();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::SimConfig;
+    use crate::policy::FifoPolicy;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn sim() -> Sim {
+        Sim::new(Box::new(FifoPolicy::new()), SimConfig::default())
+    }
+
+    #[test]
+    fn lite_crowd_runs_to_completion() {
+        let s = sim();
+        let mut sched = LiteScheduler::new(&s);
+        for i in 0..100u32 {
+            let mut rounds = 10;
+            sched.spawn(&format!("c{i}"), Box::new(move |_: &mut ProcCtx| {
+                if rounds == 0 {
+                    return Step::Done;
+                }
+                rounds -= 1;
+                Step::Charge(100)
+            }));
+        }
+        let handle = sched.start("crowd");
+        let elapsed = s.run().unwrap();
+        assert_eq!(elapsed, Cycles(100 * 10 * 100));
+        let stats = handle.stats();
+        assert_eq!(stats.cpu_by_pid.len(), 100);
+        assert!(stats.cpu_by_pid.iter().all(|(_, cpu)| *cpu == 1_000));
+    }
+
+    #[test]
+    fn lite_sleeps_ride_the_engine_timer_queue() {
+        let s = sim();
+        let mut sched = LiteScheduler::new(&s);
+        let mut phase = 0;
+        sched.spawn("sleeper", Box::new(move |ctx: &mut ProcCtx| {
+            phase += 1;
+            match phase {
+                1 => Step::Block(WaitReason::Sleep(5_000)),
+                2 => {
+                    assert_eq!(ctx.sim().now(), Cycles(5_000));
+                    Step::Block(WaitReason::Until(12_000))
+                }
+                _ => {
+                    assert_eq!(ctx.sim().now(), Cycles(12_000));
+                    Step::Done
+                }
+            }
+        }));
+        sched.start("sched");
+        assert_eq!(s.run().unwrap(), Cycles(12_000));
+    }
+
+    #[test]
+    fn lite_queue_wait_is_woken_by_threaded_proc() {
+        let s = sim();
+        let q = s.new_queue();
+        let woken_at = Arc::new(AtomicU64::new(0));
+        let woken = woken_at.clone();
+        let mut sched = LiteScheduler::new(&s);
+        let mut waited = false;
+        sched.spawn("waiter", Box::new(move |ctx: &mut ProcCtx| {
+            if !waited {
+                waited = true;
+                return block_on(q, "test wait");
+            }
+            woken.store(ctx.sim().now().0, Ordering::Relaxed);
+            Step::Done
+        }));
+        sched.start("sched");
+        s.spawn("waker", move |s| {
+            s.sleep(Cycles(7_000));
+            s.wakeup_one(q);
+        });
+        s.run().unwrap();
+        assert_eq!(woken_at.load(Ordering::Relaxed), 7_000);
+    }
+
+    #[test]
+    fn runtime_spawns_join_the_crowd() {
+        let s = sim();
+        let mut sched = LiteScheduler::new(&s);
+        let mut spawned = false;
+        sched.spawn("parent", Box::new(move |ctx: &mut ProcCtx| {
+            if !spawned {
+                spawned = true;
+                let mut rounds = 2;
+                ctx.spawn("child", Box::new(move |_: &mut ProcCtx| {
+                    if rounds == 0 {
+                        return Step::Done;
+                    }
+                    rounds -= 1;
+                    Step::Charge(10)
+                }));
+                return Step::Yield;
+            }
+            Step::Done
+        }));
+        let handle = sched.start("sched");
+        assert_eq!(s.run().unwrap(), Cycles(20));
+        assert_eq!(handle.stats().cpu_by_pid.len(), 2);
+    }
+
+    #[test]
+    fn lite_and_threaded_procs_interleave_fairly() {
+        // A threaded proc and a lite crowd must both make progress: the
+        // scheduler yields the baton whenever the threaded proc is
+        // runnable.
+        let s = sim();
+        let mut sched = LiteScheduler::new(&s);
+        let mut rounds = 50;
+        sched.spawn("lite", Box::new(move |_: &mut ProcCtx| {
+            if rounds == 0 {
+                return Step::Done;
+            }
+            rounds -= 1;
+            Step::Charge(10)
+        }));
+        sched.start("sched");
+        s.spawn("threaded", |s| {
+            for _ in 0..50 {
+                s.advance(Cycles(10));
+                s.yield_now();
+            }
+        });
+        assert_eq!(s.run().unwrap(), Cycles(1_000));
+    }
+
+    #[test]
+    fn deadlocked_lite_procs_are_diagnosed() {
+        let s = sim();
+        let q = s.new_queue();
+        let mut sched = LiteScheduler::new(&s);
+        sched.spawn("stuck", Box::new(move |_: &mut ProcCtx| {
+            block_on(q, "never signalled")
+        }));
+        sched.start("sched");
+        let err = s.run().unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("never signalled"), "diagnostic: {msg}");
+        assert!(msg.contains("1 lite proc(s) waiting"), "diagnostic: {msg}");
+    }
+
+    #[test]
+    #[should_panic(expected = "blocking engine primitive")]
+    fn blocking_inside_poll_is_rejected() {
+        let s = sim();
+        let q = s.new_queue();
+        let mut sched = LiteScheduler::new(&s);
+        sched.spawn("bad", Box::new(move |ctx: &mut ProcCtx| {
+            ctx.sim().wait_on(q, "illegal");
+            Step::Done
+        }));
+        sched.start("sched");
+        if let Err(e) = s.run() {
+            panic!("{e}");
+        }
+    }
+}

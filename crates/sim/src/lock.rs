@@ -59,6 +59,25 @@ impl SimMutex {
         sim.wakeup_one(self.waiters);
     }
 
+    /// Attempts to acquire without blocking: the lite-process path.
+    /// On `false`, block by returning `Step::Block` on
+    /// [`SimMutex::wait_queue`] (see `tnt_sim::proc::block_on`) and
+    /// retry on wakeup.
+    pub fn try_lock(&self, sim: &Sim) -> bool {
+        if self.held.load(Ordering::Relaxed) {
+            return false;
+        }
+        sim.audit_mutex_acquiring(self.waiters);
+        self.held.store(true, Ordering::Relaxed);
+        sim.audit_mutex_acquired(self.waiters);
+        true
+    }
+
+    /// The queue contenders park on; [`SimMutex::unlock`] signals it.
+    pub fn wait_queue(&self) -> WaitId {
+        self.waiters
+    }
+
     /// Whether the lock is currently held.
     pub fn is_locked(&self) -> bool {
         self.held.load(Ordering::Relaxed)

@@ -170,11 +170,14 @@ pub enum Counter {
     MemStallCycles,
     /// Events dropped by a full trace ring (overflow accounting).
     TraceDrops,
+    /// Lite-process polls dispatched by cooperative schedulers (the
+    /// crowd-scale analogue of `Dispatches`).
+    LiteDispatches,
 }
 
 impl Counter {
     /// Number of counters (array sizing).
-    pub const COUNT: usize = 24;
+    pub const COUNT: usize = 25;
 
     /// Every counter, in display order.
     pub const ALL: [Counter; Counter::COUNT] = [
@@ -202,6 +205,7 @@ impl Counter {
         Counter::L2Misses,
         Counter::MemStallCycles,
         Counter::TraceDrops,
+        Counter::LiteDispatches,
     ];
 
     /// Short stable label for table footers.
@@ -231,6 +235,7 @@ impl Counter {
             Counter::L2Misses => "l2 misses",
             Counter::MemStallCycles => "mem stall cycles",
             Counter::TraceDrops => "trace drops",
+            Counter::LiteDispatches => "lite dispatches",
         }
     }
 }

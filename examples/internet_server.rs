@@ -13,9 +13,22 @@
 //! ```text
 //! cargo run --release --example internet_server
 //! ```
+//!
+//! A third mode scales past anything one-thread-per-process can host:
+//! `crowd [N]` runs N (default 10,000) clients as **lite processes** —
+//! cooperative state machines multiplexed inside a single engine slot —
+//! against a small pool of threaded workers, connected by a
+//! `SimChannel`:
+//!
+//! ```text
+//! cargo run --release --example internet_server -- crowd 10000
+//! ```
+
+use std::sync::Arc;
 
 use tnt_os::{boot, Os};
-use tnt_sim::Cycles;
+use tnt_sim::proc::{block_on, LiteScheduler, ProcCtx, Step};
+use tnt_sim::{Cycles, SimChannel, WaitId};
 
 /// Requests each client issues.
 const REQUESTS: u64 = 50;
@@ -112,7 +125,123 @@ fn serve_select(os: Os, nclients: usize) -> f64 {
     (nclients as u64 * REQUESTS) as f64 / elapsed
 }
 
+/// Requests each crowd client issues (smaller than [`REQUESTS`]: the
+/// crowd is three orders of magnitude wider).
+const CROWD_REQUESTS: u64 = 3;
+
+/// Simulated client think time between requests.
+const THINK_CY: u64 = 1_000;
+
+/// Threaded worker processes serving the crowd.
+const CROWD_WORKERS: usize = 8;
+
+/// The crowd variant: `nclients` lite processes (one engine slot, no
+/// host threads) drive requests through a bounded [`SimChannel`] into a
+/// pool of threaded workers. Returns `(req/s, engine dispatches, lite
+/// polls)` — the dispatch numbers are the point: tens of thousands of
+/// clients cost the baton engine almost nothing.
+fn serve_crowd(os: Os, nclients: usize) -> (f64, u64, u64) {
+    let (sim, kernel) = boot(os, 1);
+    let s = kernel.sim().clone();
+    let requests = Arc::new(SimChannel::<u32>::new(&s, 256));
+    // Per-client reply queue: the serving worker rings exactly the
+    // client whose request it completed.
+    let reply_qs: Arc<Vec<WaitId>> = Arc::new((0..nclients).map(|_| s.new_queue()).collect());
+
+    let total = nclients as u64 * CROWD_REQUESTS;
+    for w in 0..CROWD_WORKERS {
+        // Split the fixed request volume across the pool.
+        let quota = total / CROWD_WORKERS as u64
+            + u64::from((w as u64) < total % CROWD_WORKERS as u64);
+        let rx = requests.clone();
+        let replies = reply_qs.clone();
+        kernel.spawn_user(format!("worker{w}"), move |p| {
+            for _ in 0..quota {
+                let client = rx.recv(p.sim());
+                p.compute(Cycles(SERVICE_CY));
+                p.sim().wakeup_one(replies[client as usize]);
+            }
+        });
+    }
+
+    let mut sched = LiteScheduler::new(&s);
+    for id in 0..nclients as u32 {
+        let tx = requests.clone();
+        let replies = reply_qs.clone();
+        let mut left = CROWD_REQUESTS;
+        let mut phase = 0u8;
+        sched.spawn(
+            &format!("client{id}"),
+            Box::new(move |ctx: &mut ProcCtx| match phase {
+                // Think, then try to get the request onto the wire.
+                0 => {
+                    phase = 1;
+                    Step::Charge(THINK_CY)
+                }
+                1 => match tx.try_send(ctx.sim(), id) {
+                    Ok(()) => {
+                        phase = 2;
+                        block_on(replies[id as usize], "await reply")
+                    }
+                    Err(_) => block_on(tx.write_queue(), "request channel full"),
+                },
+                // Woken: the reply queue is private, so the wakeup IS
+                // the reply.
+                _ => {
+                    left -= 1;
+                    if left == 0 {
+                        Step::Done
+                    } else {
+                        phase = 1;
+                        Step::Charge(THINK_CY)
+                    }
+                }
+            }),
+        );
+    }
+    let handle = sched.start("crowd");
+    let elapsed = sim.run().unwrap().as_secs();
+    (
+        total as f64 / elapsed,
+        sim.dispatch_count(),
+        handle.stats().polls,
+    )
+}
+
+fn crowd_main(nclients: usize) {
+    println!("== {nclients} lite clients vs {CROWD_WORKERS} threaded workers ==\n");
+    println!(
+        "  {:<12} {:>12} {:>16} {:>12}",
+        "OS", "req/s", "engine switches", "lite polls"
+    );
+    for os in Os::benchmarked() {
+        let (rps, dispatches, polls) = serve_crowd(os, nclients);
+        println!(
+            "  {:<12} {:>11.0}/s {:>16} {:>12}",
+            os.label(),
+            rps,
+            dispatches,
+            polls
+        );
+    }
+    println!();
+    println!("every client is a cooperative state machine in ONE engine slot:");
+    println!("  - {nclients} threaded clients would need ~{} MB of host stacks", nclients / 2);
+    println!("    (512 KB each) and an engine dispatch per client block;");
+    println!("  - the lite crowd shares a run queue, so the engine only switches");
+    println!("    between the scheduler slot and the worker pool.");
+}
+
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("crowd") {
+        let n = args
+            .get(1)
+            .map(|raw| raw.parse().expect("crowd size must be a number"))
+            .unwrap_or(10_000);
+        crowd_main(n);
+        return;
+    }
     println!("== toy Internet server: requests/second vs concurrent connections ==\n");
     println!("process-per-connection:");
     println!(
