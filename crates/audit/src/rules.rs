@@ -85,7 +85,7 @@ impl Rule {
                 in_crate(path, "harness") || in_crate(path, "core") || in_crate(path, "runner")
             }
             Rule::Unwrap => {
-                ["sim", "proc", "os", "fs", "net", "nfs", "trace"]
+                ["sim", "proc", "os", "fs", "net", "nfs", "trace", "farm"]
                     .iter()
                     .any(|c| in_crate(path, c))
             }
@@ -362,7 +362,13 @@ mod tests {
         assert!(!Rule::FloatEq.applies_to("crates/sim/src/engine.rs"));
         assert!(Rule::Unwrap.applies_to("crates/sim/src/lock.rs"));
         assert!(Rule::Unwrap.applies_to("crates/proc/src/lib.rs"));
+        assert!(Rule::Unwrap.applies_to("crates/farm/src/farm.rs"));
         assert!(!Rule::Unwrap.applies_to("crates/harness/src/table.rs"));
+        // The farm's simulation code also answers to the determinism
+        // lints that scope by path prefix.
+        assert!(Rule::Wallclock.applies_to("crates/farm/src/farm.rs"));
+        assert!(Rule::HashmapIter.applies_to("crates/farm/src/hist.rs"));
+        assert!(Rule::HostThreadSpawn.applies_to("crates/farm/src/farm.rs"));
         assert!(Rule::HostThreadSpawn.applies_to("crates/os/src/kernel.rs"));
         assert!(Rule::HostThreadSpawn.applies_to("crates/harness/src/plan.rs"));
         assert!(!Rule::HostThreadSpawn.applies_to("crates/sim/src/engine.rs"));

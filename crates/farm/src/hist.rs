@@ -1,0 +1,246 @@
+//! A dependency-free fixed-bucket log-scale latency histogram.
+//!
+//! The farm's output is a distribution, not a mean, so the measurement
+//! plane must hold millions of samples without remembering any of them.
+//! [`LatHist`] uses HDR-style buckets: values below 8 get exact buckets;
+//! above that, each power-of-two octave is split into 8 linear
+//! sub-buckets, bounding the relative quantile error at 12.5% while the
+//! whole histogram stays a flat array of `u64` counters.
+//!
+//! Everything here is integer arithmetic on a fixed layout, so merging
+//! per-worker histograms is element-wise addition (exact count
+//! conservation, any merge order) and reports are byte-identical across
+//! `--jobs` levels.
+
+/// Sub-buckets per octave (2^3): the quantile resolution knob.
+const SUB_BITS: u32 = 3;
+const SUB: usize = 1 << SUB_BITS;
+/// Bucket count covering the full `u64` range: 8 exact small-value
+/// buckets plus 8 sub-buckets for each octave `2^3 ..= 2^63`.
+const BUCKETS: usize = (64 - SUB_BITS as usize) * SUB;
+
+/// Fixed-bucket log-scale histogram of `u64` samples (cycles, here).
+#[derive(Clone)]
+pub struct LatHist {
+    counts: Box<[u64; BUCKETS]>,
+    total: u64,
+}
+
+/// The flat bucket index of a value. Zero-cost on the record path: a
+/// leading-zeros instruction and two shifts.
+fn bucket_of(v: u64) -> usize {
+    if v < SUB as u64 {
+        return v as usize;
+    }
+    let msb = 63 - v.leading_zeros();
+    let sub = ((v >> (msb - SUB_BITS)) & (SUB as u64 - 1)) as usize;
+    (msb - SUB_BITS + 1) as usize * SUB + sub
+}
+
+/// The largest value a bucket can hold — what quantile queries report,
+/// so a reported quantile never understates the true one.
+fn upper_of(idx: usize) -> u64 {
+    if idx < SUB {
+        return idx as u64;
+    }
+    let msb = (idx / SUB) as u32 + SUB_BITS - 1;
+    let sub = (idx % SUB) as u64;
+    let width = 1u64 << (msb - SUB_BITS);
+    (1u64 << msb) + (sub + 1) * width - 1
+}
+
+impl std::fmt::Debug for LatHist {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LatHist")
+            .field("count", &self.total)
+            .field("p50", &self.p50())
+            .field("p99", &self.p99())
+            .field("p999", &self.p999())
+            .finish()
+    }
+}
+
+impl Default for LatHist {
+    fn default() -> LatHist {
+        LatHist::new()
+    }
+}
+
+impl LatHist {
+    /// An empty histogram.
+    pub fn new() -> LatHist {
+        LatHist {
+            counts: Box::new([0; BUCKETS]),
+            total: 0,
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, v: u64) {
+        self.counts[bucket_of(v)] += 1;
+        self.total += 1;
+    }
+
+    /// Total samples recorded (merges included).
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Adds every sample of `other` into `self` — element-wise, so the
+    /// result is independent of merge order and conserves counts
+    /// exactly.
+    pub fn merge(&mut self, other: &LatHist) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += b;
+        }
+        self.total += other.total;
+    }
+
+    /// The `q`-quantile (`0.0 ..= 1.0`) as the upper bound of the bucket
+    /// holding the rank-`ceil(q * count)` sample — at most 12.5% above
+    /// the true order statistic, never below it. Returns 0 when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.total == 0 {
+            return 0;
+        }
+        let rank = ((q * self.total as f64).ceil() as u64).clamp(1, self.total);
+        let mut seen = 0u64;
+        for (idx, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return upper_of(idx);
+            }
+        }
+        upper_of(BUCKETS - 1)
+    }
+
+    /// Median.
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 95th percentile.
+    pub fn p95(&self) -> u64 {
+        self.quantile(0.95)
+    }
+
+    /// 99th percentile.
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    /// 99.9th percentile.
+    pub fn p999(&self) -> u64 {
+        self.quantile(0.999)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Deterministic value stream for oracle tests (splitmix64).
+    fn stream(seed: u64, n: usize) -> Vec<u64> {
+        let mut s = seed;
+        (0..n)
+            .map(|_| {
+                s = s.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = s;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^= z >> 31;
+                // Latency-shaped: spread over ~6 decades.
+                z % 10u64.pow(1 + (z % 6) as u32)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn buckets_partition_the_u64_range() {
+        // Every value maps into a bucket whose upper bound is >= it, and
+        // bucket upper bounds are strictly increasing.
+        for idx in 1..BUCKETS {
+            assert!(upper_of(idx) > upper_of(idx - 1), "idx {idx}");
+        }
+        for v in [0, 1, 7, 8, 9, 63, 64, 1000, u32::MAX as u64, u64::MAX / 2] {
+            let idx = bucket_of(v);
+            assert!(upper_of(idx) >= v, "v={v} idx={idx}");
+            if idx > 0 {
+                assert!(upper_of(idx - 1) < v, "v={v} idx={idx}");
+            }
+        }
+    }
+
+    #[test]
+    fn quantiles_bound_the_sorted_vector_oracle() {
+        for seed in [1u64, 7, 42, 1996] {
+            let vals = stream(seed, 5_000);
+            let mut h = LatHist::new();
+            let mut sorted = vals.clone();
+            for v in &vals {
+                h.record(*v);
+            }
+            sorted.sort_unstable();
+            for q in [0.5, 0.9, 0.95, 0.99, 0.999] {
+                let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+                let oracle = sorted[rank - 1];
+                let got = h.quantile(q);
+                assert!(got >= oracle, "seed {seed} q {q}: {got} < oracle {oracle}");
+                let bound = oracle + oracle / 8 + 1;
+                assert!(got <= bound, "seed {seed} q {q}: {got} > bound {bound}");
+            }
+        }
+    }
+
+    #[test]
+    fn merge_conserves_counts_exactly_in_any_order() {
+        let parts: Vec<Vec<u64>> = (0..5).map(|i| stream(i, 1_000 + 137 * i as usize)).collect();
+        let mut forward = LatHist::new();
+        let mut backward = LatHist::new();
+        for p in &parts {
+            let mut h = LatHist::new();
+            for v in p {
+                h.record(*v);
+            }
+            forward.merge(&h);
+        }
+        for p in parts.iter().rev() {
+            let mut h = LatHist::new();
+            for v in p {
+                h.record(*v);
+            }
+            backward.merge(&h);
+        }
+        let want: usize = parts.iter().map(Vec::len).sum();
+        assert_eq!(forward.count(), want as u64);
+        assert_eq!(backward.count(), want as u64);
+        for q in [0.5, 0.95, 0.99, 0.999] {
+            assert_eq!(forward.quantile(q), backward.quantile(q), "q {q}");
+        }
+        // And merging equals recording everything into one histogram.
+        let mut flat = LatHist::new();
+        for p in &parts {
+            for v in p {
+                flat.record(*v);
+            }
+        }
+        assert_eq!(flat.quantile(0.99), forward.quantile(0.99));
+    }
+
+    #[test]
+    fn empty_histogram_reports_zero() {
+        let h = LatHist::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.p50(), 0);
+        assert_eq!(h.p999(), 0);
+    }
+
+    #[test]
+    fn extreme_quantiles_hit_min_and_max_buckets() {
+        let mut h = LatHist::new();
+        h.record(3);
+        h.record(1_000_000);
+        assert_eq!(h.quantile(0.0), 3, "rank clamps to the first sample");
+        assert!(h.quantile(1.0) >= 1_000_000);
+    }
+}

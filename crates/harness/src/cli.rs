@@ -24,6 +24,9 @@ pub enum Mode {
     /// Benchmark the threaded vs lite process models; write
     /// `BENCH_engine.json`.
     BenchEngine,
+    /// Run the full internet-server rate sweep (TCP + NFS grids over
+    /// every OS); write `BENCH_farm.json` and per-workload CSVs.
+    Farm,
     /// Print every experiment id (including ablations) and exit.
     List,
     /// Print usage and exit.
@@ -70,7 +73,7 @@ pub struct Cli {
 /// The usage string printed by `--help` and prefixed to parse errors.
 pub fn usage() -> String {
     format!(
-        "usage: reproduce [bless|check|bench|bench-engine] [--quick|--full] [--jobs N] \
+        "usage: reproduce [bless|check|bench|bench-engine|farm] [--quick|--full] [--jobs N] \
          [--tolerance PCT] [--profile] [--audit] [--faults off|smoke|lossy] \
          [--out DIR] [--markdown FILE] [ids...|all]\n\
          \n\
@@ -82,6 +85,11 @@ pub fn usage() -> String {
          \x20 bench-engine  compare the threaded baton engine against the lite\n\
          \x20          cooperative scheduler on one workload (events/s, handoffs/s,\n\
          \x20          simulated Mcycles/s); write BENCH_engine.json\n\
+         \x20 farm     sweep offered request rates over every OS on the tnt-farm\n\
+         \x20          internet-server rig (open-loop load, per-request latency\n\
+         \x20          histograms): per-OS p50/p95/p99/p999 and saturation\n\
+         \x20          throughput curves; write BENCH_farm.json + farm_*.csv.\n\
+         \x20          Composes with --faults lossy for degraded-mode curves\n\
          \n\
          --audit runs the cycle-conservation audit after the suite: every\n\
          profileable experiment is re-sampled under tracing and charged\n\
@@ -130,6 +138,7 @@ pub fn parse(args: Vec<String>) -> Result<Cli, String> {
             "check" => cli.mode = Mode::Check,
             "bench" => cli.mode = Mode::Bench,
             "bench-engine" => cli.mode = Mode::BenchEngine,
+            "farm" => cli.mode = Mode::Farm,
             "--list" => cli.mode = Mode::List,
             "--help" | "-h" => cli.mode = Mode::Help,
             "--quick" => cli.scale = ScaleKind::Quick,
@@ -264,6 +273,20 @@ mod tests {
         assert_eq!(cli.mode, Mode::BenchEngine);
         let cli = parse(args(&["bench-engine", "--out", "elsewhere"])).unwrap();
         assert_eq!(cli.out_dir, PathBuf::from("elsewhere"));
+    }
+
+    #[test]
+    fn farm_parses_with_flags() {
+        let cli = parse(args(&["farm"])).unwrap();
+        assert_eq!(cli.mode, Mode::Farm);
+        let cli = parse(args(&["farm", "--full", "--jobs", "4", "--faults", "lossy"])).unwrap();
+        assert_eq!(cli.mode, Mode::Farm);
+        assert_eq!(cli.scale, ScaleKind::Full);
+        assert_eq!(cli.jobs, 4);
+        assert_eq!(cli.faults, FaultProfile::lossy());
+        // The usage text sells the sweep.
+        assert!(usage().contains("farm"));
+        assert!(usage().contains("BENCH_farm.json"));
     }
 
     #[test]

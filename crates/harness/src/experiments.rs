@@ -137,6 +137,8 @@ pub(crate) fn plan_one(id: &str, scale: &Scale) -> ExperimentPlan {
         "x1" | "x2" | "x3" | "x4" | "x5" | "x6" | "x7" | "x8" => {
             crate::ablations::plan_extra(id, scale)
         }
+        "x9" => crate::farm::plan_x9(scale),
+        "x10" => crate::farm::plan_x10(scale),
         other => panic!("unknown experiment id {other:?}"),
     }
 }

@@ -36,6 +36,15 @@ pub struct Scale {
     pub tcp_total: u64,
     /// MAB repetitions (each is a whole benchmark run).
     pub mab_runs: u64,
+    /// Offered TCP request rates (req/s) for the farm sweep — must
+    /// straddle every OS's knee so the tails diverge.
+    pub farm_rates: Vec<f64>,
+    /// Offered NFS write-RPC rates for the farm sweep.
+    pub farm_nfs_rates: Vec<f64>,
+    /// Requests per farm point.
+    pub farm_requests: usize,
+    /// Client crowd size for the x10 crowd-service experiment.
+    pub farm_crowd: usize,
 }
 
 impl Scale {
@@ -61,6 +70,10 @@ impl Scale {
             udp_total: 4 * 1024 * 1024,
             tcp_total: 3 * 1024 * 1024,
             mab_runs: 5,
+            farm_rates: vec![200.0, 400.0, 600.0, 800.0, 1000.0, 1200.0],
+            farm_nfs_rates: vec![60.0, 110.0, 160.0, 210.0],
+            farm_requests: 800,
+            farm_crowd: 4_000,
         }
     }
 
@@ -82,6 +95,10 @@ impl Scale {
             udp_total: 1 << 20,
             tcp_total: 1 << 20,
             mab_runs: 2,
+            farm_rates: vec![300.0, 600.0, 900.0, 1200.0],
+            farm_nfs_rates: vec![80.0, 160.0],
+            farm_requests: 300,
+            farm_crowd: 1_500,
         }
     }
 
@@ -103,6 +120,10 @@ impl Scale {
             udp_total: 256 * 1024,
             tcp_total: 256 * 1024,
             mab_runs: 1,
+            farm_rates: vec![250.0, 900.0],
+            farm_nfs_rates: vec![120.0],
+            farm_requests: 120,
+            farm_crowd: 400,
         }
     }
 

@@ -39,10 +39,12 @@
 
 mod costs;
 mod net;
+mod switch;
 mod tcp;
 mod udp;
 
 pub use costs::{NetCosts, TcpCosts, UdpCosts};
 pub use net::{Addr, Net, Proto, ETHER_FRAMING};
+pub use switch::{Delivery, Switch, SWITCH_MTU};
 pub use tcp::{connect, connect_custom, TcpListener, TcpStream};
 pub use udp::{Packet, Recv, UdpSocket};

@@ -43,6 +43,34 @@ pub enum WaitReason {
         /// Shows up in deadlock diagnostics, like `Sim::wait_on`'s reason.
         reason: &'static str,
     },
+    /// Block on up to two engine wait queues at once, with an optional
+    /// absolute deadline — the lite analogue of `select(2)`. The process
+    /// resumes on the first signal on any armed queue or when the
+    /// deadline passes, whichever comes first; [`Core::wake_of`] says
+    /// which. A lite client awaiting reply-or-timeout needs one slot for
+    /// this, not a second watchdog process.
+    Any {
+        /// Raw wait-queue tokens to arm; `None` slots are skipped.
+        queues: [Option<u64>; 2],
+        /// Absolute instant (cycles) at which the wait times out.
+        deadline: Option<u64>,
+        /// Shows up in deadlock diagnostics, like `Sim::wait_on`'s reason.
+        reason: &'static str,
+    },
+}
+
+/// How the last blocking wait of a lite process ended. Read it via
+/// [`Core::wake_of`] right after the process resumes to tell a queue
+/// signal from a deadline on a [`WaitReason::Any`] wait.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Wake {
+    /// The process has not completed a blocking wait yet.
+    None,
+    /// A signal arrived on the queue at this index of the wait's
+    /// `queues` array (always 0 for single-queue waits).
+    Queue(u8),
+    /// The sleep instant or `Any` deadline passed with no signal.
+    Timeout,
 }
 
 /// What a lite process asks its scheduler to do next.
@@ -99,6 +127,12 @@ struct Slot<C> {
     pid: u32,
     /// CPU cycles charged while this process ran.
     cpu: u64,
+    /// Bumped on every blocking transition; deadline-heap entries carry
+    /// the generation they were armed under, so a deadline left over
+    /// from an earlier wait can never fire into a later one.
+    gen: u32,
+    /// How the most recent blocking wait ended.
+    wake: Wake,
 }
 
 /// The lite-process scheduler core: slots, a FIFO run queue, and a sleep
@@ -109,6 +143,11 @@ pub struct Core<C> {
     run: VecDeque<Lid>,
     /// Min-heap of `(wake_at, seq, lid)`; `seq` makes ties FIFO.
     sleepers: BinaryHeap<Reverse<(u64, u64, Lid)>>,
+    /// Min-heap of `Any`-wait deadlines `(at, seq, lid, gen)`; entries
+    /// are validated against the slot's current generation when popped.
+    timeouts: BinaryHeap<Reverse<(u64, u64, Lid, u32)>>,
+    /// Lids whose `Any` deadline fired since the last drain.
+    timed_out: Vec<Lid>,
     sleep_seq: u64,
     live: usize,
     polls: u64,
@@ -127,6 +166,8 @@ impl<C> Core<C> {
             slots: Vec::new(),
             run: VecDeque::new(),
             sleepers: BinaryHeap::new(),
+            timeouts: BinaryHeap::new(),
+            timed_out: Vec::new(),
             sleep_seq: 0,
             live: 0,
             polls: 0,
@@ -143,6 +184,8 @@ impl<C> Core<C> {
             state: SlotState::Runnable,
             pid,
             cpu: 0,
+            gen: 0,
+            wake: Wake::None,
         });
         self.live += 1;
         self.run.push_back(lid);
@@ -175,7 +218,9 @@ impl<C> Core<C> {
 
     /// Puts a running process to sleep until the absolute instant `at`.
     pub fn sleep_until(&mut self, lid: Lid, at: u64) {
-        self.slots[lid.0 as usize].state = SlotState::Sleeping;
+        let slot = &mut self.slots[lid.0 as usize];
+        slot.state = SlotState::Sleeping;
+        slot.gen = slot.gen.wrapping_add(1);
         let seq = self.sleep_seq;
         self.sleep_seq += 1;
         self.sleepers.push(Reverse((at, seq, lid)));
@@ -184,7 +229,26 @@ impl<C> Core<C> {
     /// Marks a running process as blocked on an external wait queue;
     /// the owner must arrange the wakeup (see `Sim::lite_wait_enqueue`).
     pub fn wait(&mut self, lid: Lid, reason: &'static str) {
-        self.slots[lid.0 as usize].state = SlotState::Waiting(reason);
+        let slot = &mut self.slots[lid.0 as usize];
+        slot.state = SlotState::Waiting(reason);
+        slot.gen = slot.gen.wrapping_add(1);
+    }
+
+    /// Marks a running process as blocked on a [`WaitReason::Any`] wait:
+    /// one or more external queues (the owner arms those separately, see
+    /// `Sim::lite_wait_enqueue`) plus an optional deadline entered into
+    /// the timeout heap. The first of queue signal ([`Core::wake_queue`])
+    /// and deadline wins; [`Core::wake_of`] reports which.
+    pub fn wait_any(&mut self, lid: Lid, reason: &'static str, deadline: Option<u64>) {
+        let slot = &mut self.slots[lid.0 as usize];
+        slot.state = SlotState::Waiting(reason);
+        slot.gen = slot.gen.wrapping_add(1);
+        let gen = slot.gen;
+        if let Some(at) = deadline {
+            let seq = self.sleep_seq;
+            self.sleep_seq += 1;
+            self.timeouts.push(Reverse((at, seq, lid, gen)));
+        }
     }
 
     /// Retires a finished process and drops its state machine.
@@ -203,6 +267,13 @@ impl<C> Core<C> {
     /// Wakes a blocked process (sleep or queue wait). Returns `false`
     /// for stale wakeups — the process already ran on, or finished.
     pub fn wake(&mut self, lid: Lid) -> bool {
+        self.wake_queue(lid, 0)
+    }
+
+    /// Wakes a blocked process via the `idx`-th queue of its wait set,
+    /// recording [`Wake::Queue(idx)`] for [`Core::wake_of`]. Returns
+    /// `false` for stale wakeups.
+    pub fn wake_queue(&mut self, lid: Lid, idx: u8) -> bool {
         let slot = match self.slots.get_mut(lid.0 as usize) {
             Some(s) => s,
             None => return false,
@@ -210,6 +281,7 @@ impl<C> Core<C> {
         match slot.state {
             SlotState::Sleeping | SlotState::Waiting(_) => {
                 slot.state = SlotState::Runnable;
+                slot.wake = Wake::Queue(idx);
                 self.run.push_back(lid);
                 true
             }
@@ -217,8 +289,22 @@ impl<C> Core<C> {
         }
     }
 
-    /// Wakes every sleeper whose instant is `<= now`, in (instant, seq)
-    /// order. Returns how many woke.
+    /// How the most recent completed wait of `lid` ended — queue signal
+    /// (with the index into its `Any` wait set) or timeout.
+    pub fn wake_of(&self, lid: Lid) -> Wake {
+        self.slots[lid.0 as usize].wake
+    }
+
+    /// Lids whose [`WaitReason::Any`] deadline fired since the last
+    /// drain, in firing order. The owner uses this to cancel the queue
+    /// parkings the wait armed (see `Sim::lite_wait_cancel`).
+    pub fn drain_timed_out(&mut self) -> Vec<Lid> {
+        std::mem::take(&mut self.timed_out)
+    }
+
+    /// Wakes every sleeper and every expired `Any` deadline whose
+    /// instant is `<= now`, each heap in (instant, seq) order. Returns
+    /// how many woke.
     pub fn fire_due(&mut self, now: u64) -> usize {
         let mut n = 0;
         while let Some(Reverse((at, _, _))) = self.sleepers.peek() {
@@ -229,22 +315,54 @@ impl<C> Core<C> {
             // Skip entries whose process was woken some other way.
             if self.slots[lid.0 as usize].state == SlotState::Sleeping {
                 self.slots[lid.0 as usize].state = SlotState::Runnable;
+                self.slots[lid.0 as usize].wake = Wake::Timeout;
                 self.run.push_back(lid);
+                n += 1;
+            }
+        }
+        while let Some(Reverse((at, _, _, _))) = self.timeouts.peek() {
+            if *at > now {
+                break;
+            }
+            let Reverse((_, _, lid, gen)) = self.timeouts.pop().expect("peeked timeout vanished");
+            // Valid only while the process is still in the wait that
+            // armed this deadline: same generation, still waiting.
+            let slot = &mut self.slots[lid.0 as usize];
+            if matches!(slot.state, SlotState::Waiting(_)) && slot.gen == gen {
+                slot.state = SlotState::Runnable;
+                slot.wake = Wake::Timeout;
+                self.run.push_back(lid);
+                self.timed_out.push(lid);
                 n += 1;
             }
         }
         n
     }
 
-    /// The earliest pending sleep instant, pruning stale entries.
+    /// The earliest pending sleep instant or `Any` deadline, pruning
+    /// stale entries from both heaps.
     pub fn next_wake(&mut self) -> Option<u64> {
+        let mut sleep_at = None;
         while let Some(Reverse((at, _, lid))) = self.sleepers.peek() {
             if self.slots[lid.0 as usize].state == SlotState::Sleeping {
-                return Some(*at);
+                sleep_at = Some(*at);
+                break;
             }
             self.sleepers.pop();
         }
-        None
+        let mut timeout_at = None;
+        while let Some(&Reverse((at, _, lid, gen))) = self.timeouts.peek() {
+            let slot = &self.slots[lid.0 as usize];
+            if matches!(slot.state, SlotState::Waiting(_)) && slot.gen == gen {
+                timeout_at = Some(at);
+                break;
+            }
+            self.timeouts.pop();
+        }
+        match (sleep_at, timeout_at) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
     }
 
     /// Number of not-yet-finished processes.
@@ -351,7 +469,8 @@ mod tests {
                             core.sleep_until(lid, at);
                             break;
                         }
-                        Step::Block(WaitReason::Queue { .. }) => {
+                        Step::Block(WaitReason::Queue { .. })
+                        | Step::Block(WaitReason::Any { .. }) => {
                             panic!("no external queues in this harness")
                         }
                         Step::Done => {
@@ -434,6 +553,86 @@ mod tests {
         core.finish(a);
         assert!(!core.wake(a), "finished proc is not wakeable");
         assert!(!core.wake(Lid(99)), "unknown lid is not wakeable");
+    }
+
+    #[test]
+    fn any_deadline_fires_and_is_reported() {
+        let mut core: Core<()> = Core::new();
+        let a = core.spawn(1, burner(1, 1));
+        assert_eq!(core.next_runnable(), Some(a));
+        core.wait_any(a, "reply or timeout", Some(500));
+        assert_eq!(core.next_wake(), Some(500));
+        assert_eq!(core.fire_due(499), 0);
+        assert_eq!(core.fire_due(500), 1);
+        assert_eq!(core.wake_of(a), Wake::Timeout);
+        assert_eq!(core.drain_timed_out(), vec![a]);
+        assert!(core.drain_timed_out().is_empty(), "drain consumes");
+        assert_eq!(core.next_runnable(), Some(a));
+    }
+
+    #[test]
+    fn any_queue_signal_beats_the_deadline() {
+        let mut core: Core<()> = Core::new();
+        let a = core.spawn(1, burner(1, 1));
+        assert_eq!(core.next_runnable(), Some(a));
+        core.wait_any(a, "reply or timeout", Some(500));
+        assert!(core.wake_queue(a, 1));
+        assert_eq!(core.wake_of(a), Wake::Queue(1));
+        // The armed deadline is now stale: it must neither wake the
+        // process again nor hold the next-wake horizon down.
+        assert_eq!(core.next_wake(), None);
+        assert_eq!(core.fire_due(1_000), 0);
+        assert!(core.drain_timed_out().is_empty());
+    }
+
+    #[test]
+    fn stale_deadline_cannot_fire_into_a_later_wait() {
+        let mut core: Core<()> = Core::new();
+        let a = core.spawn(1, burner(1, 1));
+        assert_eq!(core.next_runnable(), Some(a));
+        // First wait: deadline at 500, but a queue signal wins at 100.
+        core.wait_any(a, "first", Some(500));
+        assert!(core.wake_queue(a, 0));
+        assert_eq!(core.next_runnable(), Some(a));
+        // Second wait (no deadline). The leftover entry at 500 carries
+        // the old generation and must not wake it.
+        core.wait_any(a, "second", None);
+        assert_eq!(core.fire_due(600), 0);
+        assert_eq!(core.next_wake(), None);
+        assert!(core.drain_timed_out().is_empty());
+        // A real signal still does.
+        assert!(core.wake_queue(a, 0));
+    }
+
+    #[test]
+    fn plain_waits_also_invalidate_older_deadlines() {
+        let mut core: Core<()> = Core::new();
+        let a = core.spawn(1, burner(1, 1));
+        assert_eq!(core.next_runnable(), Some(a));
+        core.wait_any(a, "first", Some(500));
+        assert!(core.wake_queue(a, 0));
+        assert_eq!(core.next_runnable(), Some(a));
+        // A plain single-queue wait bumps the generation too, so the
+        // stale 500 deadline cannot steal its wakeup.
+        core.wait(a, "second");
+        assert_eq!(core.fire_due(600), 0);
+        assert!(core.drain_timed_out().is_empty());
+        assert!(core.wake(a));
+        assert_eq!(core.wake_of(a), Wake::Queue(0));
+    }
+
+    #[test]
+    fn next_wake_mins_sleepers_and_deadlines() {
+        let mut core: Core<()> = Core::new();
+        let a = core.spawn(1, burner(1, 1));
+        let b = core.spawn(2, burner(1, 1));
+        assert_eq!(core.next_runnable(), Some(a));
+        assert_eq!(core.next_runnable(), Some(b));
+        core.sleep_until(a, 900);
+        core.wait_any(b, "replies", Some(300));
+        assert_eq!(core.next_wake(), Some(300));
+        assert_eq!(core.fire_due(300), 1);
+        assert_eq!(core.next_wake(), Some(900));
     }
 
     #[test]

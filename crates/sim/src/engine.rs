@@ -938,6 +938,21 @@ impl Sim {
             .push_back(Waiter::Lite { sched: tid, token });
     }
 
+    /// Cancels a not-yet-delivered lite wait token of the calling
+    /// scheduler — an `Any` waiter that was resumed through a sibling
+    /// queue or its deadline no longer wants the other queues' signals.
+    /// The queue entries themselves stay put; `wake_from_queue_locked`
+    /// skips cancelled tokens lazily, exactly as it skips a threaded
+    /// `wait_on_any` waiter already woken through another queue.
+    /// Returns whether the token was still armed.
+    pub(crate) fn lite_wait_cancel(&self, token: u64) -> bool {
+        let tid = current_tid();
+        let mut st = self.inner.state.lock();
+        st.lite
+            .get_mut(&tid)
+            .is_some_and(|ls| ls.waiting.remove(&token).is_some())
+    }
+
     /// Drains the calling scheduler's mailbox: tokens whose wakeups have
     /// been delivered since the last drain, in delivery order.
     pub(crate) fn lite_take_mailbox(&self) -> Vec<u64> {

@@ -48,8 +48,8 @@ pub use stats::{normalize_higher_better, normalize_lower_better, Series, Summary
 /// core re-exported next to the glue that runs it inside one engine
 /// slot. See DESIGN.md, "Two process models".
 pub mod proc {
-    pub use crate::lite::{block_on, LiteHandle, LiteScheduler, LiteStats, ProcCtx};
-    pub use tnt_proc::{Core, Lid, LiteProc, Step, WaitReason};
+    pub use crate::lite::{block_any, block_on, LiteHandle, LiteScheduler, LiteStats, ProcCtx};
+    pub use tnt_proc::{Core, Lid, LiteProc, Step, Wake, WaitReason};
 }
 
 // The tracing subsystem this engine reports into, re-exported so kernel

@@ -16,10 +16,11 @@
 //! sleep heap breaks ties by arming order, and mailbox tokens are
 //! delivered in wakeup order, so two same-seed runs are byte-identical.
 
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use parking_lot::Mutex;
-use tnt_proc::{Core, Lid, LiteProc, Step, WaitReason};
+use tnt_proc::{Core, Lid, LiteProc, Step, Wake, WaitReason};
 
 use crate::engine::{LitePollGuard, Sim, WaitId};
 use crate::time::Cycles;
@@ -30,6 +31,7 @@ use crate::trace::Counter;
 pub struct ProcCtx {
     sim: Sim,
     pid: u32,
+    wake: Wake,
     spawns: Vec<(String, Box<dyn LiteProc<ProcCtx>>)>,
 }
 
@@ -47,6 +49,14 @@ impl ProcCtx {
         self.pid
     }
 
+    /// How this process's most recent blocking wait ended — the
+    /// `select(2)` return value of a [`block_any`] wait.
+    /// [`Wake::Queue`]`(i)` names the index into the wait's queue slice,
+    /// [`Wake::Timeout`] means the deadline (or a plain sleep) expired.
+    pub fn wake(&self) -> Wake {
+        self.wake
+    }
+
     /// Spawns a sibling lite process into the same scheduler; it becomes
     /// runnable after the current poll returns.
     pub fn spawn(&mut self, name: impl Into<String>, machine: Box<dyn LiteProc<ProcCtx>>) {
@@ -61,6 +71,36 @@ impl ProcCtx {
 pub fn block_on(q: WaitId, reason: &'static str) -> Step {
     Step::Block(WaitReason::Queue {
         queue: q.raw(),
+        reason,
+    })
+}
+
+/// Builds the [`Step`] that blocks a lite process on up to two engine
+/// wait queues at once, with an optional relative timeout — the lite
+/// analogue of [`Sim::wait_on_any`] plus `select(2)`'s timeout, in one
+/// engine slot instead of a waiter-plus-watchdog pair. After resuming,
+/// [`ProcCtx::wake`] reports whether a queue signal (and which queue) or
+/// the timeout ended the wait; queues that did not fire are cancelled,
+/// so a late signal on them is simply lost, like a `select` caller that
+/// closed the other descriptor.
+pub fn block_any(
+    ctx: &ProcCtx,
+    queues: &[WaitId],
+    timeout: Option<Cycles>,
+    reason: &'static str,
+) -> Step {
+    assert!(queues.len() <= 2, "lite Any waits support at most two queues");
+    assert!(
+        !queues.is_empty() || timeout.is_some(),
+        "a lite Any wait with no queues and no timeout would never resume"
+    );
+    let mut qs = [None, None];
+    for (i, q) in queues.iter().enumerate() {
+        qs[i] = Some(q.raw());
+    }
+    Step::Block(WaitReason::Any {
+        queues: qs,
+        deadline: timeout.map(|t| ctx.sim().now().0 + t.0),
         reason,
     })
 }
@@ -158,8 +198,14 @@ fn drive(sim: &Sim, core: &mut Core<ProcCtx>, switch_cost: Cycles) {
     let mut ctx = ProcCtx {
         sim: sim.clone(),
         pid: 0,
+        wake: Wake::None,
         spawns: Vec::new(),
     };
+    // Engine tokens armed by each live `Any` wait, keyed by lid. An Any
+    // token encodes the queue index in its high half so the mailbox can
+    // report *which* queue fired; when one path wins, the sibling tokens
+    // are cancelled here before the process can block again.
+    let mut any_parked: BTreeMap<u32, [Option<u64>; 2]> = BTreeMap::new();
     // A process that yielded last timeslice requeues only *after* the
     // wakeups its own charges caused: in the threaded model a sleeper
     // whose deadline is crossed mid-charge enqueues before the running
@@ -169,9 +215,30 @@ fn drive(sim: &Sim, core: &mut Core<ProcCtx>, switch_cost: Cycles) {
     loop {
         // Wakeups delivered by other processes since we last looked.
         for token in sim.lite_take_mailbox() {
-            core.wake(Lid(token as u32));
+            let lid = Lid((token & 0xffff_ffff) as u32);
+            if let Some(armed) = any_parked.remove(&lid.0) {
+                // An `Any` wait resolved through one of its queues:
+                // cancel the siblings, record which index fired.
+                for t in armed.into_iter().flatten() {
+                    if t != token {
+                        sim.lite_wait_cancel(t);
+                    }
+                }
+                core.wake_queue(lid, (token >> 32) as u8);
+            } else {
+                core.wake(lid);
+            }
         }
         core.fire_due(sim.now().0);
+        // `Any` waits whose deadline won: disarm their queue tokens so a
+        // later signal cannot wake the process out of its next wait.
+        for lid in core.drain_timed_out() {
+            if let Some(armed) = any_parked.remove(&lid.0) {
+                for t in armed.into_iter().flatten() {
+                    sim.lite_wait_cancel(t);
+                }
+            }
+        }
         if let Some(lid) = yielded.take() {
             core.yield_to_back(lid);
         }
@@ -182,6 +249,7 @@ fn drive(sim: &Sim, core: &mut Core<ProcCtx>, switch_cost: Cycles) {
             }
             sim.count(Counter::LiteDispatches, 1);
             ctx.pid = core.pid(lid);
+            ctx.wake = core.wake_of(lid);
             // While the guard lives, charges and spans from inside
             // `poll` are attributed to the lite process, and blocking
             // engine primitives are rejected.
@@ -213,6 +281,25 @@ fn drive(sim: &Sim, core: &mut Core<ProcCtx>, switch_cost: Cycles) {
                         // process made inside this poll is still valid.
                         core.wait(lid, reason);
                         sim.lite_wait_enqueue(queue, u64::from(lid.0), reason);
+                        break;
+                    }
+                    Step::Block(WaitReason::Any {
+                        queues,
+                        deadline,
+                        reason,
+                    }) => {
+                        core.wait_any(lid, reason, deadline);
+                        let mut armed = [None, None];
+                        for (i, q) in queues.into_iter().enumerate() {
+                            if let Some(q) = q {
+                                let token = u64::from(lid.0) | ((i as u64) << 32);
+                                sim.lite_wait_enqueue(q, token, reason);
+                                armed[i] = Some(token);
+                            }
+                        }
+                        if armed.iter().any(Option::is_some) {
+                            any_parked.insert(lid.0, armed);
+                        }
                         break;
                     }
                     Step::Done => {
@@ -384,6 +471,176 @@ mod tests {
             }
         });
         assert_eq!(s.run().unwrap(), Cycles(1_000));
+    }
+
+    #[test]
+    fn select_reply_beats_the_timeout() {
+        // A lite client awaits reply-or-timeout in one slot; the reply
+        // arrives first and the stale deadline never fires.
+        let s = sim();
+        let q = s.new_queue();
+        let log = Arc::new(Mutex::new(Vec::new()));
+        let out = log.clone();
+        let mut sched = LiteScheduler::new(&s);
+        let mut phase = 0;
+        sched.spawn("client", Box::new(move |ctx: &mut ProcCtx| {
+            phase += 1;
+            match phase {
+                1 => block_any(ctx, &[q], Some(Cycles(10_000)), "reply or rto"),
+                2 => {
+                    out.lock().push((ctx.sim().now().0, ctx.wake()));
+                    // Block again past the original deadline: a stale
+                    // timeout firing here would resume us early.
+                    Step::Block(WaitReason::Until(25_000))
+                }
+                _ => {
+                    out.lock().push((ctx.sim().now().0, ctx.wake()));
+                    Step::Done
+                }
+            }
+        }));
+        sched.start("sched");
+        s.spawn("server", move |s| {
+            s.sleep(Cycles(4_000));
+            s.wakeup_one(q);
+        });
+        s.run().unwrap();
+        assert_eq!(
+            log.lock().clone(),
+            vec![(4_000, Wake::Queue(0)), (25_000, Wake::Timeout)]
+        );
+    }
+
+    #[test]
+    fn select_timeout_fires_without_a_signal() {
+        let s = sim();
+        let q = s.new_queue();
+        let woke = Arc::new(Mutex::new((0u64, Wake::None)));
+        let out = woke.clone();
+        let mut sched = LiteScheduler::new(&s);
+        let mut waited = false;
+        sched.spawn("client", Box::new(move |ctx: &mut ProcCtx| {
+            if !waited {
+                waited = true;
+                return block_any(ctx, &[q], Some(Cycles(9_000)), "reply or rto");
+            }
+            *out.lock() = (ctx.sim().now().0, ctx.wake());
+            Step::Done
+        }));
+        sched.start("sched");
+        s.run().unwrap();
+        assert_eq!(*woke.lock(), (9_000, Wake::Timeout));
+    }
+
+    #[test]
+    fn select_reports_which_queue_fired() {
+        let s = sim();
+        let qa = s.new_queue();
+        let qb = s.new_queue();
+        let woke = Arc::new(Mutex::new((0u64, Wake::None)));
+        let out = woke.clone();
+        let mut sched = LiteScheduler::new(&s);
+        let mut waited = false;
+        sched.spawn("client", Box::new(move |ctx: &mut ProcCtx| {
+            if !waited {
+                waited = true;
+                return block_any(ctx, &[qa, qb], None, "either queue");
+            }
+            *out.lock() = (ctx.sim().now().0, ctx.wake());
+            Step::Done
+        }));
+        sched.start("sched");
+        s.spawn("signaller", move |s| {
+            s.sleep(Cycles(3_000));
+            s.wakeup_one(qb);
+        });
+        s.run().unwrap();
+        assert_eq!(*woke.lock(), (3_000, Wake::Queue(1)));
+    }
+
+    #[test]
+    fn select_cancels_the_losing_queue() {
+        // After the timeout wins, a late signal on the armed queue must
+        // not wake the client out of its *next* wait: the drive loop
+        // disarms the token when the deadline fires.
+        let s = sim();
+        let q = s.new_queue();
+        let log = Arc::new(Mutex::new(Vec::new()));
+        let out = log.clone();
+        let mut sched = LiteScheduler::new(&s);
+        let mut phase = 0;
+        sched.spawn("client", Box::new(move |ctx: &mut ProcCtx| {
+            phase += 1;
+            match phase {
+                1 => block_any(ctx, &[q], Some(Cycles(5_000)), "reply or rto"),
+                2 => {
+                    out.lock().push((ctx.sim().now().0, ctx.wake()));
+                    // Sleep across the late signal at 8_000.
+                    Step::Block(WaitReason::Until(20_000))
+                }
+                _ => {
+                    out.lock().push((ctx.sim().now().0, ctx.wake()));
+                    Step::Done
+                }
+            }
+        }));
+        sched.start("sched");
+        s.spawn("late-server", move |s| {
+            s.sleep(Cycles(8_000));
+            s.wakeup_one(q); // lands after the RTO: lost, as on a real wire
+        });
+        s.run().unwrap();
+        assert_eq!(
+            log.lock().clone(),
+            vec![(5_000, Wake::Timeout), (20_000, Wake::Timeout)]
+        );
+    }
+
+    #[test]
+    fn select_runs_are_deterministic() {
+        // Many clients racing replies against staggered deadlines: two
+        // same-seed runs must agree on every outcome and instant.
+        let run = || {
+            let s = sim();
+            let outcomes = Arc::new(Mutex::new(Vec::new()));
+            let mut sched = LiteScheduler::new(&s);
+            let mut queues = Vec::new();
+            for i in 0..40u64 {
+                let q = s.new_queue();
+                queues.push(q);
+                let out = outcomes.clone();
+                let mut waited = false;
+                sched.spawn(&format!("c{i}"), Box::new(move |ctx: &mut ProcCtx| {
+                    if !waited {
+                        waited = true;
+                        return block_any(
+                            ctx,
+                            &[q],
+                            Some(Cycles(2_000 + 137 * i)),
+                            "reply or rto",
+                        );
+                    }
+                    out.lock().push((i, ctx.sim().now().0, ctx.wake()));
+                    Step::Done
+                }));
+            }
+            sched.start("sched");
+            s.spawn("server", move |s| {
+                for (i, q) in queues.into_iter().enumerate() {
+                    if i % 3 == 0 {
+                        s.sleep(Cycles(200));
+                        s.wakeup_one(q);
+                    }
+                }
+            });
+            s.run().unwrap();
+            let got = outcomes.lock().clone();
+            got
+        };
+        let (a, b) = (run(), run());
+        assert_eq!(a, b);
+        assert!(a.iter().any(|&(_, _, w)| w == Wake::Timeout));
+        assert!(a.iter().any(|&(_, _, w)| matches!(w, Wake::Queue(0))));
     }
 
     #[test]

@@ -26,6 +26,7 @@
 
 use std::sync::Arc;
 
+use tnt_farm::{run_farm, FarmConfig};
 use tnt_os::{boot, Os};
 use tnt_sim::proc::{block_on, LiteScheduler, ProcCtx, Step};
 use tnt_sim::{Cycles, SimChannel, WaitId};
@@ -230,6 +231,29 @@ fn crowd_main(nclients: usize) {
     println!("    (512 KB each) and an engine dispatch per client block;");
     println!("  - the lite crowd shares a run queue, so the engine only switches");
     println!("    between the scheduler slot and the worker pool.");
+
+    // The same crowd through the real rig: tnt-farm adds the switched
+    // topology, open-loop arrivals and the latency histogram, so the
+    // crowd's *tail* becomes visible, not just its throughput.
+    let farm_crowd = nclients.min(5_000);
+    println!("\n== the same crowd through tnt-farm (open-loop, 600 req/s offered) ==\n");
+    println!(
+        "  {:<12} {:>9} {:>9} {:>9} {:>9}",
+        "OS", "ach rps", "p50 ms", "p99 ms", "p999 ms"
+    );
+    for os in Os::benchmarked() {
+        let r = run_farm(&FarmConfig::tcp(os, 600.0, farm_crowd, 1996));
+        println!(
+            "  {:<12} {:>9.1} {:>9.2} {:>9.2} {:>9.2}",
+            os.label(),
+            r.achieved_rps,
+            r.hist.p50() as f64 / 100_000.0,
+            r.hist.p99() as f64 / 100_000.0,
+            r.hist.p999() as f64 / 100_000.0,
+        );
+    }
+    println!("\nthe measured version of this table is harness experiment x10");
+    println!("(`reproduce x10`); the full per-OS rate sweep is `reproduce farm`.");
 }
 
 fn main() {
