@@ -25,6 +25,7 @@
 pub mod lexer;
 pub mod rules;
 pub mod scan;
+pub mod taint;
 
 pub use rules::Rule;
 pub use scan::{scan_root, scan_source, Finding, Report};

@@ -1,4 +1,4 @@
-//! The deny-list: six determinism/correctness rules tuned to this
+//! The deny-list: seven determinism/correctness rules tuned to this
 //! workspace.
 //!
 //! Each rule is a predicate over the lexed `code` view of a line (see
@@ -26,6 +26,11 @@
 //!   real threads) and the worker pool (`runner/src/pool.rs`): a host
 //!   thread spawned anywhere else runs outside the baton discipline,
 //!   and crowds belong on the lite scheduler, not on OS threads.
+//! * `nondet-taint` — everywhere: the cross-file pass in
+//!   [`crate::taint`]. A nondeterminism source (host clock, entropy
+//!   RNG, thread id, hash-order iteration) inside the callee closure
+//!   of an experiment-output sink can leak into a blessed statistic;
+//!   the per-line rules cannot see that reach, this pass can.
 
 use crate::lexer::Line;
 
@@ -45,17 +50,21 @@ pub enum Rule {
     /// `thread::spawn`/`Builder`/`scope` outside the engine and the
     /// worker pool.
     HostThreadSpawn,
+    /// Nondeterminism source reachable from an experiment-output sink
+    /// (the cross-file taint pass in [`crate::taint`]).
+    NondetTaint,
 }
 
 impl Rule {
     /// Every rule, in reporting order.
-    pub const ALL: [Rule; 6] = [
+    pub const ALL: [Rule; 7] = [
         Rule::HashmapIter,
         Rule::Wallclock,
         Rule::FloatEq,
         Rule::Unwrap,
         Rule::MustUseCycles,
         Rule::HostThreadSpawn,
+        Rule::NondetTaint,
     ];
 
     /// The slug used in reports and `audit:allow(<slug>)` annotations.
@@ -67,6 +76,7 @@ impl Rule {
             Rule::Unwrap => "unwrap",
             Rule::MustUseCycles => "must-use-cycles",
             Rule::HostThreadSpawn => "host-thread-spawn",
+            Rule::NondetTaint => "nondet-taint",
         }
     }
 
@@ -85,13 +95,14 @@ impl Rule {
                 in_crate(path, "harness") || in_crate(path, "core") || in_crate(path, "runner")
             }
             Rule::Unwrap => {
-                ["sim", "proc", "os", "fs", "net", "nfs", "trace", "farm"]
+                ["sim", "proc", "race", "os", "fs", "net", "nfs", "trace", "farm"]
                     .iter()
                     .any(|c| in_crate(path, c))
             }
             Rule::HostThreadSpawn => {
                 !path.ends_with("sim/src/engine.rs") && !path.ends_with("runner/src/pool.rs")
             }
+            Rule::NondetTaint => true,
         }
     }
 
@@ -120,6 +131,10 @@ impl Rule {
                 "host thread spawned outside the engine/worker pool; simulated work belongs \
                  on Sim::spawn (threaded) or the lite scheduler (crowds)"
             }
+            Rule::NondetTaint => {
+                "nondeterminism source reachable from an experiment-output sink; anything \
+                 feeding an ExperimentRecord/StatLine must be a pure function of the seed"
+            }
         }
     }
 
@@ -131,7 +146,9 @@ impl Rule {
             Rule::Wallclock => code.contains("Instant::now") || code.contains("SystemTime::now"),
             Rule::FloatEq => float_literal_comparison(code),
             Rule::Unwrap => code.contains(".unwrap()"),
-            Rule::MustUseCycles => false,
+            // Handled by whole-corpus passes, not per-line checks: the
+            // scanner runs `must_use_cycles_hits` and `taint::analyze`.
+            Rule::MustUseCycles | Rule::NondetTaint => false,
             Rule::HostThreadSpawn => {
                 code.contains("thread::spawn")
                     || code.contains("thread::Builder")
@@ -363,7 +380,13 @@ mod tests {
         assert!(Rule::Unwrap.applies_to("crates/sim/src/lock.rs"));
         assert!(Rule::Unwrap.applies_to("crates/proc/src/lib.rs"));
         assert!(Rule::Unwrap.applies_to("crates/farm/src/farm.rs"));
+        // The race detector panics *by design* exactly once (the report
+        // itself); everything on the way there must flow errors.
+        assert!(Rule::Unwrap.applies_to("crates/race/src/detector.rs"));
         assert!(!Rule::Unwrap.applies_to("crates/harness/src/table.rs"));
+        // The taint pass scopes by reachability, not by path.
+        assert!(Rule::NondetTaint.applies_to("crates/harness/src/plan.rs"));
+        assert!(Rule::NondetTaint.applies_to("crates/runner/src/pool.rs"));
         // The farm's simulation code also answers to the determinism
         // lints that scope by path prefix.
         assert!(Rule::Wallclock.applies_to("crates/farm/src/farm.rs"));

@@ -19,6 +19,7 @@ use std::path::{Path, PathBuf};
 
 use crate::lexer::{lex, Line};
 use crate::rules::{must_use_cycles_hits, Rule};
+use crate::taint;
 
 /// One rule hit, suppressed or not.
 #[derive(Debug, Clone)]
@@ -108,27 +109,30 @@ impl Report {
 }
 
 /// Parses every `audit:allow(<slug>) <reason>` out of the lexed
-/// comment text.
+/// comment text. A line may carry several annotations (a hit can trip
+/// more than one rule); each reason runs up to the next annotation.
 fn parse_allows(lines: &[Line]) -> Vec<Allow> {
     let mut allows = Vec::new();
     for line in lines {
-        let comment = &line.comment;
-        let Some(pos) = comment.find("audit:allow(") else {
-            continue;
-        };
-        let rest = &comment[pos + "audit:allow(".len()..];
-        let Some(close) = rest.find(')') else {
-            continue;
-        };
-        let slug = rest[..close].trim();
-        let reason = rest[close + 1..].trim().to_string();
-        if let Some(rule) = Rule::from_slug(slug) {
-            allows.push(Allow {
-                line: line.number,
-                rule,
-                reason,
-                used: std::cell::Cell::new(false),
-            });
+        let mut comment = line.comment.as_str();
+        while let Some(pos) = comment.find("audit:allow(") {
+            let rest = &comment[pos + "audit:allow(".len()..];
+            let Some(close) = rest.find(')') else {
+                break;
+            };
+            let slug = rest[..close].trim();
+            let tail = &rest[close + 1..];
+            let reason_end = tail.find("audit:allow(").unwrap_or(tail.len());
+            let reason = tail[..reason_end].trim().to_string();
+            if let Some(rule) = Rule::from_slug(slug) {
+                allows.push(Allow {
+                    line: line.number,
+                    rule,
+                    reason,
+                    used: std::cell::Cell::new(false),
+                });
+            }
+            comment = tail;
         }
     }
     allows
@@ -147,64 +151,138 @@ fn find_allow(allows: &[Allow], rule: Rule, line: usize) -> Option<&Allow> {
         })
 }
 
-/// Scans one file's source text. `path` must be workspace-relative
-/// with forward slashes (it drives rule scoping).
-pub fn scan_source(path: &str, source: &str) -> (Vec<Finding>, Vec<(usize, String)>) {
-    let lines = lex(source);
-    let allows = parse_allows(&lines);
-    let mut findings = Vec::new();
+/// Records one hit, consulting the file's allow annotations.
+fn record(
+    findings: &mut Vec<Finding>,
+    allows: &[Allow],
+    path: &str,
+    rule: Rule,
+    number: usize,
+    code: &str,
+    message: String,
+) {
+    let allowed = find_allow(allows, rule, number).and_then(|a| {
+        if a.reason.is_empty() {
+            // A reason-less allow is ignored: the reason is the
+            // whole point of the annotation.
+            None
+        } else {
+            a.used.set(true);
+            Some(a.reason.clone())
+        }
+    });
+    findings.push(Finding {
+        file: path.to_string(),
+        line: number,
+        rule: rule.slug(),
+        message,
+        code: code.trim().to_string(),
+        allowed,
+    });
+}
 
-    let mut record = |rule: Rule, number: usize, code: &str| {
-        let allowed = find_allow(&allows, rule, number).and_then(|a| {
-            if a.reason.is_empty() {
-                // A reason-less allow is ignored: the reason is the
-                // whole point of the annotation.
-                None
-            } else {
-                a.used.set(true);
-                Some(a.reason.clone())
-            }
-        });
-        findings.push(Finding {
-            file: path.to_string(),
-            line: number,
-            rule: rule.slug(),
-            message: rule.message().to_string(),
-            code: code.trim().to_string(),
-            allowed,
-        });
+/// Scans a whole lexed corpus: the per-line and per-file rules on each
+/// file, then the cross-file taint pass over everything at once.
+fn scan_corpus(files: &[(String, Vec<Line>)]) -> Report {
+    let allows_per: Vec<Vec<Allow>> = files.iter().map(|(_, l)| parse_allows(l)).collect();
+    let mut report = Report {
+        files_scanned: files.len(),
+        ..Report::default()
     };
 
-    for line in &lines {
-        if line.in_test {
-            continue;
-        }
-        for rule in Rule::ALL {
-            if rule == Rule::MustUseCycles || !rule.applies_to(path) {
+    for ((path, lines), allows) in files.iter().zip(&allows_per) {
+        for line in lines {
+            if line.in_test {
                 continue;
             }
-            if rule.hits_line(&line.code) {
-                record(rule, line.number, &line.code);
+            for rule in Rule::ALL {
+                if !rule.applies_to(path) {
+                    continue;
+                }
+                if rule.hits_line(&line.code) {
+                    record(
+                        &mut report.findings,
+                        allows,
+                        path,
+                        rule,
+                        line.number,
+                        &line.code,
+                        rule.message().to_string(),
+                    );
+                }
             }
         }
-    }
-    if Rule::MustUseCycles.applies_to(path) {
-        for number in must_use_cycles_hits(&lines) {
-            let code = lines
-                .iter()
-                .find(|l| l.number == number)
-                .map(|l| l.code.clone())
-                .unwrap_or_default();
-            record(Rule::MustUseCycles, number, &code);
+        if Rule::MustUseCycles.applies_to(path) {
+            for number in must_use_cycles_hits(lines) {
+                let code = lines
+                    .iter()
+                    .find(|l| l.number == number)
+                    .map(|l| l.code.clone())
+                    .unwrap_or_default();
+                record(
+                    &mut report.findings,
+                    allows,
+                    path,
+                    Rule::MustUseCycles,
+                    number,
+                    &code,
+                    Rule::MustUseCycles.message().to_string(),
+                );
+            }
         }
     }
 
-    let stale = allows
-        .iter()
-        .filter(|a| !a.used.get() && !a.reason.is_empty())
-        .map(|a| (a.line, a.rule.slug().to_string()))
+    for hit in taint::analyze(files) {
+        let Some(idx) = files.iter().position(|(p, _)| *p == hit.file) else {
+            continue;
+        };
+        if !Rule::NondetTaint.applies_to(&hit.file) {
+            continue;
+        }
+        let message = format!(
+            "{} ({} via {})",
+            Rule::NondetTaint.message(),
+            hit.source,
+            hit.chain
+        );
+        record(
+            &mut report.findings,
+            &allows_per[idx],
+            &hit.file,
+            Rule::NondetTaint,
+            hit.line,
+            &hit.code,
+            message,
+        );
+    }
+
+    for ((path, _), allows) in files.iter().zip(&allows_per) {
+        report.stale_allows.extend(
+            allows
+                .iter()
+                .filter(|a| !a.used.get() && !a.reason.is_empty())
+                .map(|a| (path.clone(), a.line, a.rule.slug().to_string())),
+        );
+    }
+    report
+        .findings
+        .sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    report.stale_allows.sort();
+    report
+}
+
+/// Scans one file's source text. `path` must be workspace-relative
+/// with forward slashes (it drives rule scoping). The taint pass runs
+/// with the file as its whole corpus, so cross-file reach is invisible
+/// here — use [`scan_root`] for the real thing.
+pub fn scan_source(path: &str, source: &str) -> (Vec<Finding>, Vec<(usize, String)>) {
+    let report = scan_corpus(&[(path.to_string(), lex(source))]);
+    let stale = report
+        .stale_allows
+        .into_iter()
+        .map(|(_, line, slug)| (line, slug))
         .collect();
-    (findings, stale)
+    (report.findings, stale)
 }
 
 /// Is this path part of the scanned surface? Vendored shims, build
@@ -261,17 +339,12 @@ pub fn scan_root(root: &Path) -> io::Result<Report> {
     // Deterministic report order regardless of directory-entry order.
     rels.sort();
 
-    let mut report = Report::default();
+    let mut corpus = Vec::new();
     for (rel, path) in rels {
         let source = fs::read_to_string(&path)?;
-        let (findings, stale) = scan_source(&rel, &source);
-        report.findings.extend(findings);
-        report
-            .stale_allows
-            .extend(stale.into_iter().map(|(l, s)| (rel.clone(), l, s)));
-        report.files_scanned += 1;
+        corpus.push((rel, lex(&source)));
     }
-    Ok(report)
+    Ok(scan_corpus(&corpus))
 }
 
 #[cfg(test)]
@@ -301,6 +374,20 @@ mod tests {
         let src = "let t = Instant::now(); // audit:allow(wallclock)\n";
         let (findings, _) = scan_source("crates/harness/src/x.rs", src);
         assert!(findings.iter().any(|f| f.rule == "wallclock" && f.allowed.is_none()));
+    }
+
+    #[test]
+    fn two_allows_on_one_line_each_get_their_own_reason() {
+        // One hit can trip two rules (e.g. wallclock + nondet-taint);
+        // both annotations ride one comment, reasons split between them.
+        let src = "// audit:allow(wallclock) progress only audit:allow(unwrap) checked above\n\
+                   let t = Instant::now().elapsed().as_secs().checked_sub(1).unwrap();\n";
+        let (findings, stale) = scan_source("crates/sim/src/x.rs", src);
+        let wall = findings.iter().find(|f| f.rule == "wallclock").unwrap();
+        assert_eq!(wall.allowed.as_deref(), Some("progress only"));
+        let unw = findings.iter().find(|f| f.rule == "unwrap").unwrap();
+        assert_eq!(unw.allowed.as_deref(), Some("checked above"));
+        assert!(stale.is_empty());
     }
 
     #[test]

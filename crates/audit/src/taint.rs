@@ -1,0 +1,413 @@
+//! Rule 7 (`nondet-taint`): the cross-file nondeterminism-taint pass.
+//!
+//! The per-line rules catch a nondeterministic *construct*; this pass
+//! catches a nondeterministic *data flow*. Sinks are functions whose
+//! bodies mention the structured-output types (`ExperimentRecord`,
+//! `StatLine`) — the records the regression gate diffs byte-for-byte.
+//! From every sink the pass walks the call graph downward (a
+//! name-resolved, workspace-wide over-approximation) and flags any
+//! reachable function that directly touches a nondeterminism source:
+//! the host clock, an entropy-seeded RNG, a host thread id, or
+//! hash-order iteration. A hit means "this nondeterminism can reach a
+//! blessed statistic", which is exactly the taint the byte-identity
+//! guarantee cannot tolerate.
+//!
+//! Resolution is by bare name, so the closure over-approximates on
+//! common identifiers; a stoplist of ubiquitous std method names keeps
+//! the graph from collapsing into "everything calls everything".
+//! Suppression works like every other rule: an inline allow annotation
+//! carrying the `nondet-taint` slug and a reason, on or above the
+//! source line.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::lexer::Line;
+
+/// Tokens that mark a function as an experiment-output sink.
+const SINK_TOKENS: [&str; 2] = ["ExperimentRecord", "StatLine"];
+
+/// Method/function names too generic to resolve through: following
+/// them would connect the whole workspace into one component.
+const STOPLIST: [&str; 48] = [
+    "new", "default", "clone", "cloned", "copied", "into", "from", "iter", "into_iter", "next",
+    "len", "is_empty", "push", "pop", "insert", "remove", "get", "contains", "collect", "map",
+    "filter", "filter_map", "flat_map", "flatten", "fold", "for_each", "to_string", "to_owned",
+    "format", "write", "writeln", "unwrap", "unwrap_or", "expect", "min", "max", "abs", "lock",
+    "join", "split", "trim", "parse", "find", "position", "any", "all", "sum", "count",
+];
+
+/// One nondeterminism source reachable from a sink.
+#[derive(Debug, Clone)]
+pub struct TaintHit {
+    /// Workspace-relative path of the tainted function.
+    pub file: String,
+    /// 1-based line of the nondeterminism source.
+    pub line: usize,
+    /// The offending code line.
+    pub code: String,
+    /// What the line does (`host wall clock`, ...).
+    pub source: &'static str,
+    /// The call path from the sink to the tainted function.
+    pub chain: String,
+}
+
+/// A function extracted from one lexed file.
+struct FnInfo {
+    name: String,
+    file: usize,
+    calls: BTreeSet<String>,
+    is_sink: bool,
+    /// `(line, code, kind)` for every direct nondeterminism source.
+    sources: Vec<(usize, String, &'static str)>,
+}
+
+/// Classifies a code line as a nondeterminism source.
+fn nondet_source(code: &str) -> Option<&'static str> {
+    if code.contains("Instant::now") || code.contains("SystemTime::now") {
+        return Some("host wall clock");
+    }
+    if code.contains("thread_rng") || code.contains("from_entropy") {
+        return Some("entropy-seeded RNG");
+    }
+    if has_word(code, "ThreadId") {
+        return Some("host thread id");
+    }
+    let iterates = [".iter()", ".keys()", ".values()", ".into_iter()", ".drain("]
+        .iter()
+        .any(|t| code.contains(t));
+    if iterates && (has_word(code, "HashMap") || has_word(code, "HashSet")) {
+        return Some("hash-order iteration");
+    }
+    None
+}
+
+/// Word-boundary containment (a local copy of the rules helper: the
+/// two passes evolve independently).
+fn has_word(code: &str, word: &str) -> bool {
+    let bytes = code.as_bytes();
+    let mut from = 0usize;
+    while let Some(pos) = code[from..].find(word) {
+        let start = from + pos;
+        let end = start + word.len();
+        let before_ok = start == 0 || !is_ident_char(bytes[start - 1]);
+        let after_ok = end >= bytes.len() || !is_ident_char(bytes[end]);
+        if before_ok && after_ok {
+            return true;
+        }
+        from = end;
+    }
+    false
+}
+
+fn is_ident_char(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Pulls the declared name out of a `fn` line, if any.
+fn fn_decl_name(code: &str) -> Option<String> {
+    let mut from = 0usize;
+    while let Some(pos) = code[from..].find("fn ") {
+        let at = from + pos;
+        let before_ok = at == 0 || !is_ident_char(code.as_bytes()[at - 1]);
+        if !before_ok {
+            from = at + 3;
+            continue;
+        }
+        let rest = code[at + 3..].trim_start();
+        let name: String = rest
+            .chars()
+            .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+            .collect();
+        if !name.is_empty() && !name.as_bytes()[0].is_ascii_digit() {
+            return Some(name);
+        }
+        from = at + 3;
+    }
+    None
+}
+
+/// Collects every `name(` call site on a code line (methods included,
+/// macros and keywords excluded).
+fn calls_on_line(code: &str, out: &mut BTreeSet<String>) {
+    let chars: Vec<char> = code.chars().collect();
+    let mut i = 0usize;
+    while i < chars.len() {
+        if chars[i].is_ascii_alphabetic() || chars[i] == '_' {
+            let start = i;
+            while i < chars.len() && (chars[i].is_ascii_alphanumeric() || chars[i] == '_') {
+                i += 1;
+            }
+            let name: String = chars[start..i].iter().collect();
+            let mut j = i;
+            // Step over turbofish whitespace: `name (` still calls.
+            while j < chars.len() && chars[j] == ' ' {
+                j += 1;
+            }
+            let is_call = chars.get(j) == Some(&'(');
+            let is_macro = chars.get(i) == Some(&'!');
+            let is_decl = code[..start].trim_end().ends_with("fn");
+            let is_keyword = matches!(
+                name.as_str(),
+                "if" | "while" | "for" | "match" | "return" | "fn" | "loop" | "in" | "let"
+                    | "move" | "else" | "impl" | "where" | "pub" | "use" | "as" | "mut"
+            );
+            if is_call && !is_macro && !is_decl && !is_keyword {
+                out.insert(name);
+            }
+            continue;
+        }
+        i += 1;
+    }
+}
+
+/// Extracts every non-test function of one file, with its call set,
+/// sink flag and direct nondeterminism sources. Brace-depth tracking
+/// attributes each line to the innermost open function, so closure
+/// bodies taint the function that spawns them — which is the right
+/// semantics for `Sim::spawn(|s| ...)` workloads.
+fn extract(file: usize, lines: &[Line], fns: &mut Vec<FnInfo>) {
+    struct Open {
+        idx: Option<usize>, // None for test functions (tracked, not recorded)
+        depth: usize,
+        entered: bool,
+    }
+    let mut stack: Vec<Open> = Vec::new();
+    let mut depth = 0usize;
+    for line in lines {
+        let code = &line.code;
+        if let Some(name) = fn_decl_name(code) {
+            // A bodyless trait declaration never enters; replace it.
+            if let Some(top) = stack.last() {
+                if !top.entered && top.depth == depth {
+                    stack.pop();
+                }
+            }
+            let idx = if line.in_test {
+                None
+            } else {
+                fns.push(FnInfo {
+                    name,
+                    file,
+                    calls: BTreeSet::new(),
+                    is_sink: false,
+                    sources: Vec::new(),
+                });
+                Some(fns.len() - 1)
+            };
+            stack.push(Open {
+                idx,
+                depth,
+                entered: false,
+            });
+        }
+        if !line.in_test {
+            if let Some(idx) = stack.last().and_then(|o| o.idx) {
+                let info = &mut fns[idx];
+                calls_on_line(code, &mut info.calls);
+                if SINK_TOKENS.iter().any(|t| has_word(code, t)) {
+                    info.is_sink = true;
+                }
+                if let Some(kind) = nondet_source(code) {
+                    info.sources.push((line.number, code.trim().to_string(), kind));
+                }
+            }
+        }
+        for c in code.chars() {
+            match c {
+                '{' => {
+                    depth += 1;
+                    if let Some(top) = stack.last_mut() {
+                        if !top.entered && depth == top.depth + 1 {
+                            top.entered = true;
+                        }
+                    }
+                }
+                '}' => {
+                    depth = depth.saturating_sub(1);
+                    while let Some(top) = stack.last() {
+                        if top.entered && depth <= top.depth {
+                            stack.pop();
+                        } else {
+                            break;
+                        }
+                    }
+                }
+                ';' => {
+                    // `fn f(...) -> T;` — a declaration that will never
+                    // open a body.
+                    if let Some(top) = stack.last() {
+                        if !top.entered && top.depth == depth {
+                            stack.pop();
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+}
+
+/// Runs the taint pass over a set of lexed files (path, lines).
+pub(crate) fn analyze(files: &[(String, Vec<Line>)]) -> Vec<TaintHit> {
+    let mut fns: Vec<FnInfo> = Vec::new();
+    for (idx, (_, lines)) in files.iter().enumerate() {
+        extract(idx, lines, &mut fns);
+    }
+    let mut by_name: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+    for (i, f) in fns.iter().enumerate() {
+        by_name.entry(&f.name).or_default().push(i);
+    }
+
+    // BFS from every sink through name-resolved call edges; `parent`
+    // remembers the discovery edge so hits can print their call path.
+    let mut parent: BTreeMap<usize, Option<usize>> = BTreeMap::new();
+    let mut queue: Vec<usize> = Vec::new();
+    for (i, f) in fns.iter().enumerate() {
+        if f.is_sink {
+            parent.insert(i, None);
+            queue.push(i);
+        }
+    }
+    while let Some(f) = queue.pop() {
+        for call in &fns[f].calls {
+            if STOPLIST.contains(&call.as_str()) {
+                continue;
+            }
+            for &g in by_name.get(call.as_str()).into_iter().flatten() {
+                if let std::collections::btree_map::Entry::Vacant(e) = parent.entry(g) {
+                    e.insert(Some(f));
+                    queue.push(g);
+                }
+            }
+        }
+    }
+
+    let mut hits = Vec::new();
+    for &i in parent.keys() {
+        let info = &fns[i];
+        if info.sources.is_empty() {
+            continue;
+        }
+        // Reconstruct sink -> ... -> here for the report.
+        let mut path = vec![info.name.as_str()];
+        let mut at = i;
+        while let Some(Some(p)) = parent.get(&at) {
+            path.push(fns[*p].name.as_str());
+            at = *p;
+        }
+        path.reverse();
+        let chain = path.join(" -> ");
+        for (line, code, source) in &info.sources {
+            hits.push(TaintHit {
+                file: files[info.file].0.clone(),
+                line: *line,
+                code: code.clone(),
+                source,
+                chain: chain.clone(),
+            });
+        }
+    }
+    hits.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    hits
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn lexed(files: &[(&str, &str)]) -> Vec<(String, Vec<Line>)> {
+        files
+            .iter()
+            .map(|(p, s)| (p.to_string(), lex(s)))
+            .collect()
+    }
+
+    #[test]
+    fn source_classification() {
+        assert_eq!(nondet_source("let t = Instant::now();"), Some("host wall clock"));
+        assert_eq!(nondet_source("let r = thread_rng();"), Some("entropy-seeded RNG"));
+        assert_eq!(
+            nondet_source("for k in m.keys() {}"),
+            None,
+            "iteration alone is not a hit without the hash type on the line"
+        );
+        assert_eq!(
+            nondet_source("let m: HashMap<u32, u32> = x; m.keys()"),
+            Some("hash-order iteration")
+        );
+        assert_eq!(nondet_source("sim.now()"), None);
+    }
+
+    #[test]
+    fn cross_file_taint_is_found_with_call_chain() {
+        let files = lexed(&[
+            (
+                "crates/a/src/lib.rs",
+                "fn emit() -> ExperimentRecord {\n    let v = measure();\n}\n",
+            ),
+            (
+                "crates/b/src/lib.rs",
+                "fn measure() -> f64 {\n    let t = Instant::now();\n    0.0\n}\n",
+            ),
+        ]);
+        let hits = analyze(&files);
+        assert_eq!(hits.len(), 1, "{hits:#?}");
+        assert_eq!(hits[0].file, "crates/b/src/lib.rs");
+        assert_eq!(hits[0].line, 2);
+        assert_eq!(hits[0].source, "host wall clock");
+        assert_eq!(hits[0].chain, "emit -> measure");
+    }
+
+    #[test]
+    fn unreachable_sources_are_clean() {
+        let files = lexed(&[
+            (
+                "crates/a/src/lib.rs",
+                "fn emit() -> ExperimentRecord {\n    tidy();\n}\nfn tidy() {}\n",
+            ),
+            (
+                "crates/b/src/lib.rs",
+                "fn bench_only() {\n    let t = Instant::now();\n}\n",
+            ),
+        ]);
+        assert!(analyze(&files).is_empty(), "no sink calls bench_only");
+    }
+
+    #[test]
+    fn stoplist_names_do_not_connect_the_graph() {
+        let files = lexed(&[
+            (
+                "crates/a/src/lib.rs",
+                "fn emit() -> ExperimentRecord {\n    let x = thing.clone();\n}\n",
+            ),
+            (
+                "crates/b/src/lib.rs",
+                "fn clone() {\n    let t = Instant::now();\n}\n",
+            ),
+        ]);
+        assert!(analyze(&files).is_empty(), "clone is too generic to resolve");
+    }
+
+    #[test]
+    fn test_functions_are_exempt() {
+        let files = lexed(&[(
+            "crates/a/src/lib.rs",
+            "fn emit() -> ExperimentRecord {\n    helper();\n}\n\
+             #[cfg(test)]\nmod tests {\n    fn helper() {\n        let t = Instant::now();\n    }\n}\n",
+        )]);
+        assert!(analyze(&files).is_empty(), "test-only helpers never taint");
+    }
+
+    #[test]
+    fn closure_bodies_taint_the_spawning_function() {
+        let files = lexed(&[(
+            "crates/a/src/lib.rs",
+            "fn emit() -> StatLine {\n    run(move |s| {\n        let t = SystemTime::now();\n    });\n}\n",
+        )]);
+        let hits = analyze(&files);
+        assert_eq!(hits.len(), 1, "{hits:#?}");
+        assert_eq!(hits[0].line, 3);
+        assert_eq!(hits[0].chain, "emit");
+    }
+}

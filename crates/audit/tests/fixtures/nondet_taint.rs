@@ -1,0 +1,29 @@
+//! Fixture for the `nondet-taint` cross-file pass (run single-file
+//! here: the sink and the tainted callee share this fixture).
+
+fn emit_stats() -> ExperimentRecord {
+    let sample = sample_latency();
+    package(sample)
+}
+
+fn sample_latency() -> u64 {
+    let t = std::time::Instant::now(); // line 10: tainted, bare hit
+    t.elapsed().as_nanos() as u64
+}
+
+fn package(v: u64) -> u64 {
+    // audit:allow(nondet-taint) fixture: reason carried on the line above the hit
+    let seed = std::time::SystemTime::now(); // line 16: tainted, allowed
+    v
+}
+
+fn bench_only() -> u64 {
+    // Unreachable from the sink: no finding even though it reads the
+    // host clock (the per-line wallclock rule still sees it).
+    let t = std::time::Instant::now(); // line 23: not tainted
+    0
+}
+
+fn innocent() {
+    let s = "Instant::now() in a string never hits";
+}

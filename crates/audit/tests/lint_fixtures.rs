@@ -184,6 +184,30 @@ fn fixtures_have_no_cross_rule_noise() {
 }
 
 #[test]
+fn nondet_taint_fixture() {
+    let (findings, stale) = scan(
+        "crates/runner/src/fixture.rs",
+        include_str!("fixtures/nondet_taint.rs"),
+    );
+    let hits = rule_findings(&findings, "nondet-taint");
+    assert_eq!(hits.len(), 2, "{hits:#?}");
+    assert_eq!(hits[0].line, 10, "reachable clock read is a violation");
+    assert!(hits[0].allowed.is_none());
+    assert!(
+        hits[0].message.contains("emit_stats -> sample_latency"),
+        "message carries the call chain: {}",
+        hits[0].message
+    );
+    assert_eq!(hits[1].line, 16, "allowed hit");
+    assert!(hits[1].allowed.is_some());
+    assert!(
+        !hits.iter().any(|h| h.line == 23),
+        "bench_only is unreachable from the sink"
+    );
+    assert!(stale.is_empty());
+}
+
+#[test]
 fn stale_allow_is_reported_with_its_slug() {
     let src = "// audit:allow(hashmap-iter) nothing below uses one\nfn empty() {}\n";
     let (findings, stale) = scan("crates/fs/src/x.rs", src);

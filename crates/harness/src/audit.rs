@@ -34,6 +34,11 @@ pub struct AuditReport {
     pub samples: usize,
     /// Samples whose attribution drifted from the simulated clock.
     pub failures: Vec<AuditFinding>,
+    /// Whether the ambient happens-before race detector was armed while
+    /// the audited samples ran. When true, a detected race would have
+    /// failed the sample outright — so a passing audit also certifies
+    /// the engine raced on nothing it touched.
+    pub race_armed: bool,
 }
 
 impl AuditReport {
@@ -56,6 +61,11 @@ impl AuditReport {
                 out.push_str(&format!("  {} [{}]: {}\n", f.id, f.label, f.error));
             }
         }
+        if self.race_armed {
+            out.push_str(
+                "happens-before race detection: armed on every sample, no unordered access pairs\n",
+            );
+        }
         out
     }
 }
@@ -63,7 +73,10 @@ impl AuditReport {
 /// Audits cycle conservation across every profileable experiment at the
 /// given scale.
 pub fn conservation_audit(scale: &Scale) -> AuditReport {
-    let mut report = AuditReport::default();
+    let mut report = AuditReport {
+        race_armed: tnt_sim::race::ambient(),
+        ..AuditReport::default()
+    };
     for id in profile_ids() {
         let Some(samples) = profile_experiment(id, scale) else {
             continue;
@@ -115,5 +128,17 @@ mod tests {
         let text = r.render();
         assert!(text.contains("1 FAILURE"), "{text}");
         assert!(text.contains("t5 [Linux]"), "{text}");
+    }
+
+    #[test]
+    fn race_armed_status_is_reported() {
+        let r = AuditReport {
+            race_armed: true,
+            ..AuditReport::default()
+        };
+        assert!(r.render().contains("happens-before race detection: armed"));
+        assert!(!AuditReport::default()
+            .render()
+            .contains("happens-before"));
     }
 }

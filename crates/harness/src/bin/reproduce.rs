@@ -25,8 +25,9 @@ use std::process::ExitCode;
 
 use tnt_harness::cli::{self, Cli, Mode};
 use tnt_harness::{
-    all_ids, conservation_audit, execute, extra_ids, farm_sweep, lite_ring, plan, profile_one,
-    threaded_ring, ExperimentResult, RingResult, Scale,
+    all_ids, conservation_audit, execute, explore_ids, explore_json, extra_ids, farm_sweep,
+    lite_ring, plan, profile_one, render_explore, run_explore, threaded_ring, threaded_ring_hb,
+    ExperimentResult, RingResult, Scale,
 };
 use tnt_runner::{json::Value, BaselineStore, ExperimentRecord};
 
@@ -43,6 +44,12 @@ fn main() -> ExitCode {
     // worker pool spawns): every `boot`/`boot_cluster` in this process
     // picks it up. The default `off` is the byte-identical no-op.
     tnt_sim::fault::set_ambient(cli.faults);
+    // --audit also arms the ambient happens-before race detector: every
+    // Sim built from here on carries vector clocks and panics (failing
+    // the run) on the first unordered same-location access pair.
+    if cli.audit {
+        tnt_sim::race::set_ambient(true);
+    }
     match cli.mode {
         Mode::Help => {
             println!("{}", cli::usage());
@@ -54,6 +61,12 @@ fn main() -> ExitCode {
             for id in all_ids().iter().chain(extra_ids().iter()) {
                 println!("{id}");
             }
+            // Explore scenarios are a separate namespace (they are
+            // schedules, not experiments) but scripts still need to
+            // enumerate them.
+            for id in explore_ids() {
+                println!("explore/{id}");
+            }
             ExitCode::SUCCESS
         }
         Mode::Run => run(&cli),
@@ -62,6 +75,54 @@ fn main() -> ExitCode {
         Mode::Bench => bench(&cli),
         Mode::BenchEngine => bench_engine(&cli),
         Mode::Farm => farm(&cli),
+        Mode::Explore => explore_cmd(&cli),
+    }
+}
+
+/// Exhaustive schedule exploration of the canned concurrency scenarios:
+/// every interleaving of contended dispatches (sleep-set pruned) must
+/// produce the identical outcome, with no deadlocks or lost wakeups.
+fn explore_cmd(cli: &Cli) -> ExitCode {
+    println!("tnt explore — exhaustive schedule exploration (happens-before armed)\n");
+    fs::create_dir_all(&cli.out_dir).expect("create output directory");
+    // `--all` and an empty selection both mean "every canned scenario";
+    // the flag exists so CI invocations read as intent, not omission.
+    let names = if cli.explore_all {
+        Vec::new()
+    } else {
+        cli.ids.clone()
+    };
+    // Generous per-scenario cap: the canned scenarios close out in tens
+    // to hundreds of schedules; hitting this means state-space blowup,
+    // which run_explore reports as a failure rather than truncating.
+    let outcomes = match run_explore(&names, 4096) {
+        Ok(o) => o,
+        Err(err) => {
+            eprintln!("reproduce explore: {err}");
+            return ExitCode::from(2);
+        }
+    };
+    for o in &outcomes {
+        print!("{}", render_explore(o));
+    }
+    let doc = explore_json(&outcomes);
+    let path = cli.out_dir.join("EXPLORE.json");
+    fs::write(&path, doc.render()).expect("write explore artifact");
+    println!("explore artifact written to {}", path.display());
+    let failed: Vec<&str> = outcomes
+        .iter()
+        .filter(|o| !o.report.passed())
+        .map(|o| o.name)
+        .collect();
+    if failed.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "reproduce explore: {} scenario(s) FAILED: {}",
+            failed.len(),
+            failed.join(", ")
+        );
+        ExitCode::FAILURE
     }
 }
 
@@ -121,7 +182,7 @@ fn run(cli: &Cli) -> ExitCode {
     let jobs = cli.effective_jobs();
     banner(cli, &scale, jobs);
     fs::create_dir_all(&cli.out_dir).expect("create output directory");
-    // audit:allow(wallclock) host-side progress timing of the run itself, never simulated state
+    // audit:allow(wallclock) host-side progress timing, never simulated state audit:allow(nondet-taint) prints "done in N s" only; no recorded statistic reads it
     let t0 = std::time::Instant::now();
     let results = run_suite(cli, &scale, jobs);
     let mut md = String::from(
@@ -394,6 +455,20 @@ fn bench_engine(cli: &Cli) -> ExitCode {
     let ratio = lite.handoffs_per_s() / threaded.handoffs_per_s().max(1e-9);
     println!("\nlite/threaded handoff throughput: {ratio:.1}x");
 
+    // Happens-before overhead gate: the same threaded ring with the race
+    // detector armed. Disarmed cost is zero by construction (the hooks
+    // are compiled out without the `audit` feature), so the artifact
+    // records and bounds only the *armed* slowdown.
+    let hb = threaded_ring_hb(procs, rounds, seed);
+    let hb_identical = hb.elapsed == threaded.elapsed && hb.total_cpu == threaded.total_cpu;
+    let hb_ratio = threaded.handoffs_per_s() / hb.handoffs_per_s().max(1e-9);
+    println!(
+        "\nhb-armed ring: {:>9.0} handoffs/s  ({:.3}s) -> {hb_ratio:.2}x slowdown \
+         (gate < {HB_OVERHEAD_GATE:.1}x); simulation identical: {hb_identical}",
+        hb.handoffs_per_s(),
+        hb.wall_s,
+    );
+
     let doc = Value::Obj(vec![
         ("bench".into(), Value::Str("engine".into())),
         ("procs".into(), Value::Num(f64::from(procs))),
@@ -402,16 +477,40 @@ fn bench_engine(cli: &Cli) -> ExitCode {
         ("threaded".into(), ring_json(&threaded)),
         ("lite".into(), ring_json(&lite)),
         ("lite_crowd_10k".into(), ring_json(&crowd)),
+        ("threaded_hb".into(), ring_json(&hb)),
         ("handoff_ratio".into(), Value::Num(ratio)),
+        ("hb_overhead_ratio".into(), Value::Num(hb_ratio)),
+        ("hb_identical".into(), Value::Bool(hb_identical)),
         ("byte_identical".into(), Value::Bool(identical)),
     ]);
     let path = cli.out_dir.join("BENCH_engine.json");
     fs::write(&path, doc.render()).expect("write bench artifact");
     println!("bench artifact written to {}", path.display());
-    if identical {
+    let mut ok = true;
+    if !identical {
+        eprintln!("reproduce bench-engine: lite outcome DIVERGED from threaded outcome");
+        ok = false;
+    }
+    if !hb_identical {
+        eprintln!("reproduce bench-engine: hb-armed outcome DIVERGED from plain outcome");
+        ok = false;
+    }
+    if hb_ratio >= HB_OVERHEAD_GATE {
+        eprintln!(
+            "reproduce bench-engine: hb overhead {hb_ratio:.2}x breaches the \
+             {HB_OVERHEAD_GATE:.1}x gate"
+        );
+        ok = false;
+    }
+    if ok {
         ExitCode::SUCCESS
     } else {
-        eprintln!("reproduce bench-engine: lite outcome DIVERGED from threaded outcome");
         ExitCode::FAILURE
     }
 }
+
+/// Ceiling on the armed happens-before slowdown of the threaded ring.
+/// Vector-clock joins and footprint appends are O(live tasks) per hook,
+/// which the ring keeps small; 3x leaves headroom for noisy CI hosts
+/// while still catching an accidentally quadratic hook.
+const HB_OVERHEAD_GATE: f64 = 3.0;

@@ -27,6 +27,9 @@ pub enum Mode {
     /// Run the full internet-server rate sweep (TCP + NFS grids over
     /// every OS); write `BENCH_farm.json` and per-workload CSVs.
     Farm,
+    /// Exhaustively explore the schedules of the canned concurrency
+    /// scenarios; write `EXPLORE.json`.
+    Explore,
     /// Print every experiment id (including ablations) and exit.
     List,
     /// Print usage and exit.
@@ -59,8 +62,12 @@ pub struct Cli {
     pub profile: bool,
     /// Ambient fault-injection profile (`--faults off|smoke|lossy`).
     pub faults: FaultProfile,
-    /// Run the cycle-conservation audit after the suite.
+    /// Run the cycle-conservation audit after the suite, and arm the
+    /// ambient happens-before race detector for every simulation.
     pub audit: bool,
+    /// `explore --all`: run every canned scenario (equivalent to naming
+    /// none, spelled out for scripts).
+    pub explore_all: bool,
     /// Output directory for CSVs, baselines and bench artifacts.
     pub out_dir: PathBuf,
     /// Optional markdown report path.
@@ -73,9 +80,9 @@ pub struct Cli {
 /// The usage string printed by `--help` and prefixed to parse errors.
 pub fn usage() -> String {
     format!(
-        "usage: reproduce [bless|check|bench|bench-engine|farm] [--quick|--full] [--jobs N] \
-         [--tolerance PCT] [--profile] [--audit] [--faults off|smoke|lossy] \
-         [--out DIR] [--markdown FILE] [ids...|all]\n\
+        "usage: reproduce [bless|check|bench|bench-engine|farm|explore] [--quick|--full] \
+         [--jobs N] [--tolerance PCT] [--profile] [--audit] [--all] \
+         [--faults off|smoke|lossy] [--out DIR] [--markdown FILE] [ids...|all]\n\
          \n\
          subcommands:\n\
          \x20 (none)   run the experiments and print each table/figure\n\
@@ -90,10 +97,17 @@ pub fn usage() -> String {
          \x20          histograms): per-OS p50/p95/p99/p999 and saturation\n\
          \x20          throughput curves; write BENCH_farm.json + farm_*.csv.\n\
          \x20          Composes with --faults lossy for degraded-mode curves\n\
+         \x20 explore  replay the canned concurrency scenarios under *every*\n\
+         \x20          interleaving of contended dispatches (sleep-set pruned)\n\
+         \x20          and fail unless each scenario's outcome is identical on\n\
+         \x20          every schedule, with no deadlocks or lost wakeups; write\n\
+         \x20          EXPLORE.json. Name scenarios or pass --all\n\
          \n\
          --audit runs the cycle-conservation audit after the suite: every\n\
          profileable experiment is re-sampled under tracing and charged\n\
-         cycles must equal attributed cycles exactly.\n\
+         cycles must equal attributed cycles exactly. It also arms the\n\
+         happens-before race detector in every simulation — any unordered\n\
+         same-location access pair fails the run with both stacks.\n\
          \n\
          --faults injects deterministic seed-driven faults (disk transients\n\
          and remaps, frame drop/duplicate/delay, RPC request/reply loss):\n\
@@ -102,9 +116,11 @@ pub fn usage() -> String {
          degraded network and an ageing disk.\n\
          \n\
          experiments: {}\n\
-         ablations:   {}",
+         ablations:   {}\n\
+         scenarios:   {}",
         all_ids().join(" "),
-        extra_ids().join(" ")
+        extra_ids().join(" "),
+        crate::explore_ids().join(" ")
     )
 }
 
@@ -127,6 +143,7 @@ pub fn parse(args: Vec<String>) -> Result<Cli, String> {
         profile: false,
         faults: FaultProfile::off(),
         audit: false,
+        explore_all: false,
         out_dir: PathBuf::from("results"),
         markdown: None,
         ids: Vec::new(),
@@ -139,6 +156,8 @@ pub fn parse(args: Vec<String>) -> Result<Cli, String> {
             "bench" => cli.mode = Mode::Bench,
             "bench-engine" => cli.mode = Mode::BenchEngine,
             "farm" => cli.mode = Mode::Farm,
+            "explore" => cli.mode = Mode::Explore,
+            "--all" => cli.explore_all = true,
             "--list" => cli.mode = Mode::List,
             "--help" | "-h" => cli.mode = Mode::Help,
             "--quick" => cli.scale = ScaleKind::Quick,
@@ -320,6 +339,35 @@ mod tests {
         let u = usage();
         for id in crate::extra_ids() {
             assert!(u.contains(id), "{id} missing from usage");
+        }
+    }
+
+    #[test]
+    fn explore_parses_with_all_flag_and_named_scenarios() {
+        let cli = parse(args(&["explore", "--all"])).unwrap();
+        assert_eq!(cli.mode, Mode::Explore);
+        assert!(cli.explore_all);
+        assert!(cli.ids.is_empty());
+        let cli = parse(args(&["explore", "mutex-contention", "timer-race"])).unwrap();
+        assert_eq!(cli.mode, Mode::Explore);
+        assert!(!cli.explore_all);
+        assert_eq!(cli.ids, vec!["mutex-contention", "timer-race"]);
+        // The scenario namespace is advertised alongside the experiments.
+        let u = usage();
+        assert!(u.contains("explore"));
+        for id in crate::explore_ids() {
+            assert!(u.contains(id), "{id} missing from usage");
+        }
+    }
+
+    #[test]
+    fn explore_still_rejects_unknown_flags() {
+        // Strictness survives the new subcommand: a typo'd flag next to
+        // `explore` is an error, never a silently ignored scenario name.
+        for bad in ["--al", "--explore-all", "-a"] {
+            let err = parse(args(&["explore", bad])).unwrap_err();
+            assert!(err.contains(bad), "error names the flag: {err}");
+            assert!(err.contains("usage:"), "error shows usage: {err}");
         }
     }
 }

@@ -70,6 +70,40 @@ pub fn threaded_ring(procs: u32, rounds: u32, seed: u64) -> RingResult {
     }
 }
 
+/// The threaded ring with the happens-before race detector armed: the
+/// overhead-gate variant behind `reproduce bench-engine`. Disarmed cost
+/// is zero by construction — without the `audit` feature the detector
+/// is compiled out of the engine entirely — so the gate only needs to
+/// bound the *armed* slowdown (see `hb_overhead_ratio` in
+/// `BENCH_engine.json`).
+pub fn threaded_ring_hb(procs: u32, rounds: u32, seed: u64) -> RingResult {
+    // audit:allow(wallclock) bench mode measures host time by definition
+    let t0 = std::time::Instant::now();
+    let sim = ring_sim(seed);
+    sim.arm_race_detector();
+    let mut tids = Vec::new();
+    for p in 0..procs {
+        tids.push(sim.spawn(format!("ring{p}"), move |s| {
+            for r in 0..rounds {
+                s.charge(Cycles(RING_CHARGE));
+                if r % 8 == 3 {
+                    s.sleep(Cycles(RING_SLEEP));
+                }
+                s.yield_now();
+            }
+        }));
+    }
+    let elapsed = sim.run().expect("hb-armed ring failed");
+    let total_cpu = tids.iter().map(|t| sim.proc_cpu(*t).0).sum();
+    RingResult {
+        elapsed,
+        total_cpu,
+        handoffs: sim.dispatch_count(),
+        charges: u64::from(procs) * u64::from(rounds),
+        wall_s: t0.elapsed().as_secs_f64(),
+    }
+}
+
 /// Runs the same ring as lite processes in one engine slot.
 pub fn lite_ring(procs: u32, rounds: u32, seed: u64) -> RingResult {
     // audit:allow(wallclock) bench mode measures host time by definition
@@ -150,6 +184,18 @@ mod tests {
             );
             assert_eq!(threaded.charges, lite.charges);
         }
+    }
+
+    /// Detection is pure metadata: arming the happens-before checker
+    /// must not move the simulated clock, the charged CPU, or the
+    /// dispatch count by a single cycle.
+    #[test]
+    fn hb_armed_ring_is_simulation_identical() {
+        let plain = threaded_ring(24, 40, 1996);
+        let armed = threaded_ring_hb(24, 40, 1996);
+        assert_eq!(plain.elapsed, armed.elapsed);
+        assert_eq!(plain.total_cpu, armed.total_cpu);
+        assert_eq!(plain.handoffs, armed.handoffs);
     }
 
     #[test]

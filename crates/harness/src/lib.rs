@@ -29,6 +29,7 @@ mod audit;
 pub mod cli;
 mod engine_bench;
 mod experiments;
+mod explore;
 mod farm;
 mod plan;
 mod plot;
@@ -38,7 +39,12 @@ mod table;
 
 pub use ablations::{extra_ids, run_extra};
 pub use audit::{conservation_audit, AuditFinding, AuditReport};
-pub use engine_bench::{lite_ring, threaded_ring, RingResult, RING_CHARGE, RING_SLEEP};
+pub use engine_bench::{
+    lite_ring, threaded_ring, threaded_ring_hb, RingResult, RING_CHARGE, RING_SLEEP,
+};
+pub use explore::{
+    explore_ids, explore_json, render_explore, run_explore, ExploreOutcome, ExploreScenario,
+};
 pub use farm::{farm_sweep, FarmSweep};
 pub use experiments::{all_ids, bonnie_figures, run_many, run_one, ExperimentOutput};
 pub use plan::{execute, plan, Cell, ExperimentPlan, ExperimentResult, PlanBody};

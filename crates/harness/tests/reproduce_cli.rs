@@ -36,6 +36,35 @@ fn list_prints_paper_experiments_and_ablations() {
     let t1 = ids.iter().position(|i| *i == "t1").unwrap();
     let x1 = ids.iter().position(|i| *i == "x1").unwrap();
     assert!(t1 < x1, "ablations must follow paper experiments");
+    // Explore scenarios close the listing, in their own namespace.
+    for id in ["explore/mutex-contention", "explore/timer-race"] {
+        assert!(ids.contains(&id), "--list missing {id}:\n{stdout}");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn explore_all_passes_and_writes_the_artifact() {
+    let dir = temp_dir("explore");
+    let res = dir.join("res");
+    let out = reproduce(&["explore", "--all", "--out", res.to_str().unwrap()], &dir);
+    assert!(
+        out.status.success(),
+        "explore failed:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("mutex-contention"), "{stdout}");
+    assert!(stdout.contains("PASS"), "{stdout}");
+    let artifact = std::fs::read_to_string(res.join("EXPLORE.json")).unwrap();
+    assert!(artifact.contains("\"passed\": true"), "{artifact}");
+    assert!(artifact.contains("schedules"), "{artifact}");
+
+    // An unknown scenario is a usage error, not a silent skip.
+    let bad = reproduce(&["explore", "no-such-scenario"], &dir);
+    assert_eq!(bad.status.code(), Some(2));
+    let stderr = String::from_utf8(bad.stderr).unwrap();
+    assert!(stderr.contains("no-such-scenario"), "{stderr}");
     let _ = std::fs::remove_dir_all(&dir);
 }
 

@@ -71,6 +71,7 @@ fn panic_message(payload: Box<dyn Any + Send>) -> String {
 }
 
 fn run_job<T>(index: usize, work: Work<T>) -> JobOutcome<T> {
+    // audit:allow(nondet-taint) feeds wall_ms only, which bless never stores and check never diffs
     let start = Instant::now();
     let result = catch_unwind(AssertUnwindSafe(work)).map_err(|payload| JobPanic {
         index,

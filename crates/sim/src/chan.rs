@@ -47,6 +47,11 @@ impl<T> SimChannel<T> {
             sim.wait_on(self.wr_q, "chan send");
         }
         self.buf.lock().push_back(v);
+        // One happens-before edge per successful op: the channel's own
+        // buffer lock totally orders them, so the detector sees every
+        // datum transfer (send -> recv) and every capacity handoff
+        // (recv -> unblocked send).
+        sim.race_channel_op(self.rd_q.raw());
         sim.wakeup_one(self.rd_q);
     }
 
@@ -55,6 +60,7 @@ impl<T> SimChannel<T> {
     pub fn recv(&self, sim: &Sim) -> T {
         loop {
             if let Some(v) = self.buf.lock().pop_front() {
+                sim.race_channel_op(self.rd_q.raw());
                 sim.wakeup_one(self.wr_q);
                 return v;
             }
@@ -72,6 +78,7 @@ impl<T> SimChannel<T> {
             }
             buf.push_back(v);
         }
+        sim.race_channel_op(self.rd_q.raw());
         sim.wakeup_one(self.rd_q);
         Ok(())
     }
@@ -81,6 +88,7 @@ impl<T> SimChannel<T> {
     pub fn try_recv(&self, sim: &Sim) -> Option<T> {
         let v = self.buf.lock().pop_front();
         if v.is_some() {
+            sim.race_channel_op(self.rd_q.raw());
             sim.wakeup_one(self.wr_q);
         }
         v

@@ -36,6 +36,44 @@ use tnt_trace::{Class, Counter, Event, EventKind, Tracer};
 use crate::policy::{DispatchEnv, Pick, RunPolicy, Tid};
 use crate::time::Cycles;
 
+#[cfg(feature = "audit")]
+use tnt_race::{AccessInfo, AccessKind, Detector, Loc, SyncId, WakeSrc};
+
+// ----------------------------------------------------------------------
+// Planted-bug mutants (the race tooling's regression gate, see
+// `race_tests.rs`). The bits are only settable from this crate's unit
+// tests; production builds compile the checks to constant `false`.
+// ----------------------------------------------------------------------
+
+/// Skip ringing the lite scheduler's doorbell on a delivered wakeup
+/// token: the scheduler sleeps through the signal (a lost wakeup).
+pub(crate) const MUTANT_DROP_DOORBELL: u8 = 1 << 0;
+/// Fire equal-instant timers in reverse arming order, breaking the
+/// `(at, seq)` FIFO tie-break the engine guarantees.
+pub(crate) const MUTANT_TIMER_TIE_REORDER: u8 = 1 << 1;
+/// Skip the trace-ring lock discipline on the charge path: the ring
+/// write becomes a raw access the happens-before checker can see race.
+/// (Only the audit-gated charge hook reads it; without the feature the
+/// checker it defeats does not exist.)
+#[cfg_attr(not(feature = "audit"), allow(dead_code))]
+pub(crate) const MUTANT_UNLOCKED_RING_WRITE: u8 = 1 << 2;
+/// Skip cancelling the armed queue tokens of a timed-out
+/// `WaitReason::Any` lite wait: a late signal wakes the process out of
+/// its *next*, unrelated wait (a stale-generation bug).
+pub(crate) const MUTANT_SKIP_ANY_CANCEL: u8 = 1 << 3;
+
+#[cfg(test)]
+#[inline]
+fn mutant_on(st: &State, bit: u8) -> bool {
+    st.mutants & bit != 0
+}
+
+#[cfg(not(test))]
+#[inline]
+fn mutant_on(_st: &State, _bit: u8) -> bool {
+    false
+}
+
 /// Identifier of a wait queue (sleep/wakeup channel).
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub struct WaitId(u64);
@@ -229,6 +267,14 @@ struct State {
     shutting_down: bool,
     #[cfg(feature = "audit")]
     audit: AuditState,
+    /// The happens-before race detector, when armed (see
+    /// [`Sim::arm_race_detector`]); every call happens under this state
+    /// lock, so plain mutable state suffices.
+    #[cfg(feature = "audit")]
+    race: Option<Box<Detector>>,
+    /// Planted-bug mutant bits (unit tests only).
+    #[cfg(test)]
+    mutants: u8,
 }
 
 /// State of the dynamic invariant checkers (`audit` feature).
@@ -391,6 +437,10 @@ impl Sim {
             shutting_down: false,
             #[cfg(feature = "audit")]
             audit: AuditState::default(),
+            #[cfg(feature = "audit")]
+            race: None,
+            #[cfg(test)]
+            mutants: 0,
         };
         let sim = Sim {
             inner: Arc::new(Inner {
@@ -403,6 +453,12 @@ impl Sim {
         };
         if tnt_trace::session::active() {
             sim.inner.tracer.enable(tnt_trace::session::ring_capacity());
+        }
+        // Mirrors `tnt_fault::set_ambient`: `reproduce --audit` arms the
+        // happens-before checker for every simulation it builds.
+        #[cfg(feature = "audit")]
+        if tnt_race::ambient() {
+            sim.arm_race_detector();
         }
         sim
     }
@@ -501,6 +557,14 @@ impl Sim {
             );
             st.live += 1;
             st.policy.enqueue(tid, tag);
+            #[cfg(feature = "audit")]
+            if st.race.is_some() {
+                let parent = race_task();
+                if let Some(d) = st.race.as_mut() {
+                    d.task_start(tid.0, parent);
+                }
+                self.race_protected(&mut st, Loc::RunQueue, AccessKind::Write, "spawn.enqueue");
+            }
             if self.inner.tracer.is_enabled() {
                 self.inner.tracer.record(Event {
                     t: st.now.0,
@@ -550,6 +614,17 @@ impl Sim {
                 }
                 while !st.finished {
                     self.inner.done.wait(&mut st);
+                }
+            }
+            // Join edges: everything every proc did happens-before the
+            // host's post-run reads (`proc_cpu`, a follow-up `run`).
+            #[cfg(feature = "audit")]
+            if st.race.is_some() {
+                let tids: Vec<u32> = st.procs.keys().map(|t| t.0).collect();
+                if let Some(d) = st.race.as_mut() {
+                    for t in tids {
+                        d.task_join(t, 0);
+                    }
                 }
             }
             (st.now, st.error.clone())
@@ -635,17 +710,42 @@ impl Sim {
                 proc.cpu += c;
             }
         }
+        #[cfg(feature = "audit")]
+        if c > Cycles::ZERO && st.race.is_some() {
+            // The charge path touches the trace ring and the running
+            // proc's account; both follow the engine's lock discipline
+            // — except under the planted unlocked-ring-write mutant,
+            // whose raw write the checker sees race.
+            if mutant_on(st, MUTANT_UNLOCKED_RING_WRITE) {
+                self.race_raw(st, Loc::TraceRing, AccessKind::Write, "charge.ring(unlocked)");
+            } else {
+                self.race_protected(st, Loc::TraceRing, AccessKind::Write, "charge.ring");
+            }
+            if let Some(cur) = st.current {
+                self.race_protected(
+                    st,
+                    Loc::ProcAccount(cur.0),
+                    AccessKind::Write,
+                    "charge.account",
+                );
+            }
+        }
         let target = st.now + c;
         loop {
             let due = matches!(st.timers.peek(), Some(Reverse((at, _, _))) if *at <= target);
             if !due {
                 break;
             }
-            let Reverse((at, _, action)) = st.timers.pop().expect("peeked timer vanished");
+            let Reverse((at, seq, action)) = st.timers.pop().expect("peeked timer vanished");
             if at > st.now {
                 st.now = at;
             }
-            self.fire_locked(st, action);
+            // Planted bug: fire an equal-instant pair in reverse arming
+            // order, breaking the heap's (at, seq) FIFO tie-break.
+            if let Some((seq2, action2)) = self.mutant_steal_tie(st, at) {
+                self.fire_locked(st, seq2, action2);
+            }
+            self.fire_locked(st, seq, action);
         }
         if target > st.now {
             st.now = target;
@@ -675,6 +775,8 @@ impl Sim {
         let tag = st.procs[&tid].tag;
         st.procs.get_mut(&tid).expect("current proc missing").status = Status::Runnable;
         st.policy.enqueue(tid, tag);
+        #[cfg(feature = "audit")]
+        self.race_protected(&mut st, Loc::RunQueue, AccessKind::Write, "yield.enqueue");
         self.block_current(st, tid);
     }
 
@@ -689,6 +791,13 @@ impl Sim {
         st.timer_seq += 1;
         st.timers.push(Reverse((at, seq, TimerAction::Proc(tid))));
         st.procs.get_mut(&tid).expect("current proc missing").status = Status::Blocked("sleep");
+        #[cfg(feature = "audit")]
+        {
+            self.race_protected(&mut st, Loc::TimerHeap, AccessKind::Write, "sleep.arm");
+            if let Some(d) = st.race.as_deref_mut() {
+                d.release(race_task(), SyncId::Timer(seq));
+            }
+        }
         self.block_current(st, tid);
     }
 
@@ -722,6 +831,8 @@ impl Sim {
             .expect("wait queue does not exist")
             .push_back(Waiter::Thread(tid));
         st.procs.get_mut(&tid).expect("current proc missing").status = Status::Blocked(reason);
+        #[cfg(feature = "audit")]
+        self.race_protected(&mut st, Loc::WaitQueue(q.0), AccessKind::Write, "wait.enqueue");
         self.block_current(st, tid);
     }
 
@@ -744,6 +855,14 @@ impl Sim {
         st.timer_seq += 1;
         st.timers
             .push(Reverse((at, seq, TimerAction::ProcGen(tid, gen, q.0))));
+        #[cfg(feature = "audit")]
+        {
+            self.race_protected(&mut st, Loc::WaitQueue(q.0), AccessKind::Write, "wait.enqueue");
+            self.race_protected(&mut st, Loc::TimerHeap, AccessKind::Write, "wait.arm-timeout");
+            if let Some(d) = st.race.as_deref_mut() {
+                d.release(race_task(), SyncId::Timer(seq));
+            }
+        }
         self.block_current(st, tid);
         // Back awake: the timer handler flags timeouts (and has already
         // removed us from the queue); a real wakeup popped us normally.
@@ -783,6 +902,17 @@ impl Sim {
             // handles the rest.
             st.timers
                 .push(Reverse((at, seq, TimerAction::ProcGen(tid, gen, qs[0].0))));
+            #[cfg(feature = "audit")]
+            {
+                self.race_protected(&mut st, Loc::TimerHeap, AccessKind::Write, "select.arm");
+                if let Some(d) = st.race.as_deref_mut() {
+                    d.release(race_task(), SyncId::Timer(seq));
+                }
+            }
+        }
+        #[cfg(feature = "audit")]
+        for q in qs {
+            self.race_protected(&mut st, Loc::WaitQueue(q.0), AccessKind::Write, "select.enqueue");
         }
         self.block_current(st, tid);
         // The waker (or the timeout handler) recorded how we were woken;
@@ -799,6 +929,8 @@ impl Sim {
             if let Some(queue) = st.queues.get_mut(&q.0) {
                 queue.retain(|w| *w != Waiter::Thread(tid));
             }
+            #[cfg(feature = "audit")]
+            self.race_protected(&mut st, Loc::WaitQueue(q.0), AccessKind::Write, "select.cleanup");
         }
         if timed_out {
             None
@@ -811,7 +943,7 @@ impl Sim {
     /// whether a process was woken. Does not yield the baton.
     pub fn wakeup_one(&self, q: WaitId) -> bool {
         let mut st = self.inner.state.lock();
-        let woke = self.wake_from_queue_locked(&mut st, q.0);
+        let woke = self.wake_from_queue_locked(&mut st, q.0, WakeCause::Signal);
         #[cfg(feature = "audit")]
         if !woke {
             let now = st.now;
@@ -824,7 +956,7 @@ impl Sim {
     pub fn wakeup_all(&self, q: WaitId) -> usize {
         let mut st = self.inner.state.lock();
         let mut n = 0;
-        while self.wake_from_queue_locked(&mut st, q.0) {
+        while self.wake_from_queue_locked(&mut st, q.0, WakeCause::Signal) {
             n += 1;
         }
         #[cfg(feature = "audit")]
@@ -842,6 +974,13 @@ impl Sim {
         st.timer_seq += 1;
         st.timers
             .push(Reverse((at, seq, TimerAction::QueueOne(q.0))));
+        #[cfg(feature = "audit")]
+        {
+            self.race_protected(&mut st, Loc::TimerHeap, AccessKind::Write, "wakeup-at.arm");
+            if let Some(d) = st.race.as_deref_mut() {
+                d.release(race_task(), SyncId::Timer(seq));
+            }
+        }
     }
 
     /// Schedules a wakeup of every waiter on `q` at simulated time `at`.
@@ -851,6 +990,13 @@ impl Sim {
         st.timer_seq += 1;
         st.timers
             .push(Reverse((at, seq, TimerAction::QueueAll(q.0))));
+        #[cfg(feature = "audit")]
+        {
+            self.race_protected(&mut st, Loc::TimerHeap, AccessKind::Write, "wakeup-all-at.arm");
+            if let Some(d) = st.race.as_deref_mut() {
+                d.release(race_task(), SyncId::Timer(seq));
+            }
+        }
     }
 
     /// Number of processes currently blocked on the queue.
@@ -1050,6 +1196,9 @@ impl Sim {
             };
             let mut st = self.inner.state.lock();
             st.audit.held_locks.entry(tid).or_default().push(q.0);
+            if let Some(d) = st.race.as_deref_mut() {
+                d.acquire(tid.0, SyncId::Lock(q.0));
+            }
         }
         #[cfg(not(feature = "audit"))]
         let _ = q;
@@ -1069,9 +1218,177 @@ impl Sim {
                     held.remove(pos);
                 }
             }
+            if let Some(d) = st.race.as_deref_mut() {
+                d.release(tid.0, SyncId::Lock(q.0));
+            }
         }
         #[cfg(not(feature = "audit"))]
         let _ = q;
+    }
+
+    // ------------------------------------------------------------------
+    // Happens-before race detection (`tnt_sim::race`). The detector
+    // rides the `audit` feature: without it every entry point below is
+    // a compiled-out no-op returning `false`/nothing.
+    // ------------------------------------------------------------------
+
+    /// Arms the happens-before race detector for this simulation.
+    /// Returns whether a detector is now armed (`false` when the
+    /// `audit` feature is compiled out). Arm before spawning; procs
+    /// spawned earlier are conservatively ordered behind the host.
+    /// Armed, every unordered same-location access pair panics the
+    /// simulation with both accesses' stacks-of-record. Detection is
+    /// pure metadata: it consumes no simulation RNG and never moves the
+    /// simulated clock.
+    #[cfg(feature = "audit")]
+    pub fn arm_race_detector(&self) -> bool {
+        let mut st = self.inner.state.lock();
+        if st.race.is_none() {
+            let mut d = Box::new(Detector::new());
+            let tids: Vec<u32> = st.procs.keys().map(|t| t.0).collect();
+            for t in tids {
+                d.task_start(t, 0);
+            }
+            st.race = Some(d);
+        }
+        true
+    }
+
+    /// Without the `audit` feature the detector does not exist; arming
+    /// reports `false` and costs nothing.
+    #[cfg(not(feature = "audit"))]
+    pub fn arm_race_detector(&self) -> bool {
+        false
+    }
+
+    /// Whether the happens-before detector is armed on this simulation.
+    pub fn race_armed(&self) -> bool {
+        #[cfg(feature = "audit")]
+        {
+            self.inner.state.lock().race.is_some()
+        }
+        #[cfg(not(feature = "audit"))]
+        false
+    }
+
+    /// Records a read of the named shared location on the calling
+    /// task's behalf. No-op unless the detector is armed; panics if the
+    /// read is unordered with another task's write of the location.
+    /// Models built on the engine sprinkle these on state shared across
+    /// simulated processes to prove their synchronization covers it.
+    pub fn race_read(&self, name: &'static str, key: u64) {
+        #[cfg(feature = "audit")]
+        self.race_user_access(name, key, AccessKind::Read);
+        #[cfg(not(feature = "audit"))]
+        let _ = (name, key);
+    }
+
+    /// Records a write of the named shared location; see
+    /// [`Sim::race_read`].
+    pub fn race_write(&self, name: &'static str, key: u64) {
+        #[cfg(feature = "audit")]
+        self.race_user_access(name, key, AccessKind::Write);
+        #[cfg(not(feature = "audit"))]
+        let _ = (name, key);
+    }
+
+    #[cfg(feature = "audit")]
+    fn race_user_access(&self, name: &'static str, key: u64, kind: AccessKind) {
+        let mut st = self.inner.state.lock();
+        if st.race.is_none() {
+            return;
+        }
+        let info = race_info(&st, name);
+        if let Some(d) = st.race.as_mut() {
+            if let Some(race) = d.access(Loc::Named(name, key), kind, info) {
+                drop(st);
+                panic!("audit: {race}");
+            }
+        }
+    }
+
+    /// Drains the per-slice footprints the armed detector has gathered
+    /// — the schedule explorer's independence oracle. Empty when the
+    /// detector is not armed.
+    #[cfg(feature = "audit")]
+    pub fn race_footprints(&self) -> Vec<((u32, u32), tnt_race::Footprint)> {
+        self.inner
+            .state
+            .lock()
+            .race
+            .as_mut()
+            .map_or_else(Vec::new, |d| d.take_footprints())
+    }
+
+    /// A channel operation on the channel keyed by `id`: acquire then
+    /// release of the channel's sync var, totally ordering all
+    /// operations on one channel (the model of the host mutex guarding
+    /// its buffer).
+    #[cfg(feature = "audit")]
+    pub(crate) fn race_channel_op(&self, id: u64) {
+        let mut st = self.inner.state.lock();
+        if st.race.is_none() {
+            return;
+        }
+        let task = race_task();
+        if let Some(d) = st.race.as_mut() {
+            d.acquire(task, SyncId::Channel(id));
+            d.release(task, SyncId::Channel(id));
+        }
+    }
+
+    #[cfg(not(feature = "audit"))]
+    pub(crate) fn race_channel_op(&self, _id: u64) {}
+
+    /// A disciplined access to an engine-internal structure: bracketed
+    /// in the structure's internal sync var so by-design accesses never
+    /// race. Panics on the races only a discipline-skipping mutant (or
+    /// regression) can produce.
+    #[cfg(feature = "audit")]
+    fn race_protected(&self, st: &mut State, loc: Loc, kind: AccessKind, site: &'static str) {
+        if st.race.is_none() {
+            return;
+        }
+        let info = race_info(st, site);
+        if let Some(d) = st.race.as_mut() {
+            if let Some(race) = d.protected_access(loc, kind, info) {
+                panic!("audit: {race}");
+            }
+        }
+    }
+
+    /// A raw, discipline-free access (the unlocked-ring-write mutant's
+    /// code path).
+    #[cfg(feature = "audit")]
+    fn race_raw(&self, st: &mut State, loc: Loc, kind: AccessKind, site: &'static str) {
+        if st.race.is_none() {
+            return;
+        }
+        let info = race_info(st, site);
+        if let Some(d) = st.race.as_mut() {
+            if let Some(race) = d.access(loc, kind, info) {
+                panic!("audit: {race}");
+            }
+        }
+    }
+
+    /// Enables a planted bug for this simulation (unit tests only).
+    #[cfg(test)]
+    pub(crate) fn set_mutant(&self, bit: u8) {
+        self.inner.state.lock().mutants |= bit;
+    }
+
+    /// Whether a planted bug is enabled; constant `false` outside unit
+    /// tests, so mutant branches cost nothing in production.
+    #[cfg(test)]
+    pub(crate) fn mutant_enabled(&self, bit: u8) -> bool {
+        self.inner.state.lock().mutants & bit != 0
+    }
+
+    #[cfg(not(test))]
+    #[inline]
+    pub(crate) fn mutant_enabled(&self, _bit: u8) -> bool {
+        false
     }
 
     // ------------------------------------------------------------------
@@ -1152,10 +1469,18 @@ impl Sim {
                 debug_assert_eq!(proc.status, Status::Runnable, "picked a non-runnable proc");
                 proc.status = Status::Running;
                 st.current = Some(tid);
+                #[cfg(feature = "audit")]
+                {
+                    self.race_protected(st, Loc::RunQueue, AccessKind::Write, "dispatch.pick");
+                    if let Some(d) = st.race.as_deref_mut() {
+                        d.slice_begin(tid.0);
+                    }
+                }
+                let proc = st.procs.get_mut(&tid).expect("picked proc missing");
                 proc.parker.unpark(Wake::Run);
                 return;
             }
-            if let Some(Reverse((at, _, action))) = st.timers.pop() {
+            if let Some(Reverse((at, seq, action))) = st.timers.pop() {
                 if at > st.now {
                     // The system is idle until the next timer: jump the
                     // clock and let the tracer attribute the gap to the
@@ -1170,7 +1495,10 @@ impl Sim {
                         });
                     }
                 }
-                self.fire_locked(st, action);
+                if let Some((seq2, action2)) = self.mutant_steal_tie(st, at) {
+                    self.fire_locked(st, seq2, action2);
+                }
+                self.fire_locked(st, seq, action);
                 continue;
             }
             st.finished = true;
@@ -1201,7 +1529,26 @@ impl Sim {
         }
     }
 
-    fn fire_locked(&self, st: &mut State, action: TimerAction) {
+    /// Planted bug (`MUTANT_TIMER_TIE_REORDER`): when the next timer on
+    /// the heap is due at the same instant as the one just popped, steal
+    /// it so it fires first — inverting the `(at, seq)` FIFO tie-break
+    /// that makes equal-instant timers deterministic.
+    fn mutant_steal_tie(&self, st: &mut State, at: Cycles) -> Option<(u64, TimerAction)> {
+        if !mutant_on(st, MUTANT_TIMER_TIE_REORDER) {
+            return None;
+        }
+        if matches!(st.timers.peek(), Some(Reverse((at2, _, _))) if *at2 == at) {
+            let Reverse((_, seq, action)) = st.timers.pop().expect("peeked timer vanished");
+            return Some((seq, action));
+        }
+        None
+    }
+
+    fn fire_locked(&self, st: &mut State, seq: u64, action: TimerAction) {
+        #[cfg(not(feature = "audit"))]
+        let _ = seq;
+        #[cfg(feature = "audit")]
+        self.race_protected(st, Loc::TimerHeap, AccessKind::Write, "timer.pop");
         match action {
             TimerAction::Proc(tid) => {
                 if let Some(proc) = st.procs.get_mut(&tid) {
@@ -1209,6 +1556,18 @@ impl Sim {
                         proc.status = Status::Runnable;
                         let tag = proc.tag;
                         st.policy.enqueue(tid, tag);
+                        #[cfg(feature = "audit")]
+                        {
+                            if let Some(d) = st.race.as_deref_mut() {
+                                d.wake_edge(WakeSrc::Timer(seq), tid.0);
+                            }
+                            self.race_protected(
+                                st,
+                                Loc::RunQueue,
+                                AccessKind::Write,
+                                "timer.wake",
+                            );
+                        }
                     }
                 }
             }
@@ -1226,10 +1585,23 @@ impl Sim {
                     proc.timed_out = true;
                     let tag = proc.tag;
                     st.policy.enqueue(tid, tag);
+                    #[cfg(feature = "audit")]
+                    {
+                        if let Some(d) = st.race.as_deref_mut() {
+                            d.wake_edge(WakeSrc::Timer(seq), tid.0);
+                        }
+                        self.race_protected(
+                            st,
+                            Loc::WaitQueue(q),
+                            AccessKind::Write,
+                            "timeout.dequeue",
+                        );
+                        self.race_protected(st, Loc::RunQueue, AccessKind::Write, "timeout.wake");
+                    }
                 }
             }
             TimerAction::QueueOne(q) => {
-                let woke = self.wake_from_queue_locked(st, q);
+                let woke = self.wake_from_queue_locked(st, q, WakeCause::Timer(seq));
                 #[cfg(feature = "audit")]
                 if !woke {
                     st.audit.empty_signals.insert(q, st.now);
@@ -1238,7 +1610,7 @@ impl Sim {
             }
             TimerAction::QueueAll(q) => {
                 let mut n = 0;
-                while self.wake_from_queue_locked(st, q) {
+                while self.wake_from_queue_locked(st, q, WakeCause::Timer(seq)) {
                     n += 1;
                 }
                 #[cfg(feature = "audit")]
@@ -1250,12 +1622,16 @@ impl Sim {
         }
     }
 
-    fn wake_from_queue_locked(&self, st: &mut State, q: u64) -> bool {
+    fn wake_from_queue_locked(&self, st: &mut State, q: u64, cause: WakeCause) -> bool {
+        #[cfg(not(feature = "audit"))]
+        let _ = cause;
         loop {
             let waiter = match st.queues.get_mut(&q).and_then(|d| d.pop_front()) {
                 Some(w) => w,
                 None => return false,
             };
+            #[cfg(feature = "audit")]
+            self.race_protected(st, Loc::WaitQueue(q), AccessKind::Write, "wake.dequeue");
             match waiter {
                 Waiter::Thread(tid) => {
                     let proc = st.procs.get_mut(&tid).expect("queued proc missing");
@@ -1269,6 +1645,13 @@ impl Sim {
                     proc.woken_by = Some(q);
                     let tag = proc.tag;
                     st.policy.enqueue(tid, tag);
+                    #[cfg(feature = "audit")]
+                    {
+                        if let Some(d) = st.race.as_deref_mut() {
+                            d.wake_edge(cause.src(), tid.0);
+                        }
+                        self.race_protected(st, Loc::RunQueue, AccessKind::Write, "wake.enqueue");
+                    }
                     // A delivered signal supersedes any earlier
                     // into-the-void signal on this queue.
                     #[cfg(feature = "audit")]
@@ -1288,11 +1671,22 @@ impl Sim {
                     }
                     ls.mailbox.push(token);
                     let doorbell = ls.doorbell;
+                    // The waker's clock reaches the *scheduler*: lite
+                    // procs run sequentially inside its engine slot, so
+                    // the scheduler's task is the unit of ordering.
+                    #[cfg(feature = "audit")]
+                    if let Some(d) = st.race.as_deref_mut() {
+                        d.wake_edge(cause.src(), sched.0);
+                    }
                     // Ring the scheduler's doorbell so its host thread
                     // (if parked) becomes runnable. The doorbell queue
                     // only ever holds Thread waiters, so this recursion
-                    // is depth-1.
-                    self.wake_from_queue_locked(st, doorbell);
+                    // is depth-1. Planted bug (`MUTANT_DROP_DOORBELL`):
+                    // deliver the token but skip the ring — the mailbox
+                    // fills while the scheduler sleeps forever.
+                    if !mutant_on(st, MUTANT_DROP_DOORBELL) {
+                        self.wake_from_queue_locked(st, doorbell, cause);
+                    }
                     #[cfg(feature = "audit")]
                     st.audit.empty_signals.remove(&q);
                     return true;
@@ -1392,6 +1786,52 @@ fn current_tid() -> Tid {
     CURRENT
         .with(|c| c.get())
         .expect("this operation must be called from a simulated process")
+}
+
+/// The detector's task id for the calling thread: the engine tid, or 0
+/// for the host. Lite processes attribute to their scheduler's slot —
+/// they are sequential within it, so the attribution is exact.
+#[cfg(feature = "audit")]
+fn race_task() -> u32 {
+    CURRENT.with(|c| c.get()).map_or(0, |t| t.0)
+}
+
+/// Why a waiter is being woken: a direct signal from the running
+/// context, or a timer identified by its arming sequence number. The
+/// detector turns this into the happens-before edge source — the waker's
+/// clock for signals, the *armer's* clock for timers (the task driving
+/// the simulated clock forward did not order the wakeup).
+#[derive(Clone, Copy)]
+#[cfg_attr(not(feature = "audit"), allow(dead_code))]
+enum WakeCause {
+    Signal,
+    Timer(u64),
+}
+
+#[cfg(feature = "audit")]
+impl WakeCause {
+    fn src(self) -> WakeSrc {
+        match self {
+            WakeCause::Signal => WakeSrc::Task(race_task()),
+            WakeCause::Timer(seq) => WakeSrc::Timer(seq),
+        }
+    }
+}
+
+/// The stack-of-record for an access by the calling thread: task, the
+/// trace pid (a polled lite process overrides its scheduler's tid), the
+/// dispatch index, and the code site.
+#[cfg(feature = "audit")]
+fn race_info(st: &State, site: &'static str) -> AccessInfo {
+    AccessInfo {
+        task: race_task(),
+        pid: LITE_PID
+            .with(|c| c.get())
+            .or_else(|| CURRENT.with(|c| c.get()).map(|t| t.0))
+            .unwrap_or(0),
+        dispatch: st.dispatches,
+        site,
+    }
 }
 
 /// RAII guard for an open attribution span; see [`Sim::span`]. Dropping

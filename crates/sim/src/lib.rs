@@ -52,6 +52,67 @@ pub mod proc {
     pub use tnt_proc::{Core, Lid, LiteProc, Step, Wake, WaitReason};
 }
 
+/// Race detection and schedule exploration (`tnt-race`), re-exported
+/// next to the engine hooks that feed it: `Sim::arm_race_detector`,
+/// `Sim::race_read`/`race_write`, `Sim::race_footprints`, and the
+/// explorer's [`race::ScriptedPolicy`]. Only present with the
+/// default-on `audit` feature. See DESIGN.md §14.
+#[cfg(feature = "audit")]
+pub mod race {
+    pub use crate::policy::{ScheduleLog, ScriptedPolicy};
+    pub use tnt_race::{
+        explore, AccessInfo, AccessKind, Choice, Detector, ExploreReport, Footprint, Loc, Outcome,
+        Race, RunResult, SyncId, VClock, WakeSrc,
+    };
+    pub use tnt_race::{ambient, set_ambient};
+
+    use crate::engine::{Sim, SimConfig};
+
+    /// The post-run half of an explorer scenario: extracts the
+    /// observable payload (`(label, value)` pairs) once `Sim::run` has
+    /// returned. Built by the scenario's setup closure, which typically
+    /// moves clones of its `Arc`'d logs (and of the `Sim` itself, for
+    /// `proc_cpu`) into it.
+    pub type Collector = Box<dyn FnOnce() -> Vec<(String, u64)>>;
+
+    /// Runs one scenario under a [`ScriptedPolicy`] replaying `script`,
+    /// with the happens-before detector armed, and packages the outcome
+    /// for [`explore`]: the scenario's payload (empty on error — a
+    /// failed run's partial observables are not comparable), the
+    /// recorded branch points, and the per-slice footprints that feed
+    /// sleep-set pruning.
+    pub fn run_scripted(
+        script: &[usize],
+        scenario: impl FnOnce(&Sim) -> Collector,
+    ) -> RunResult {
+        let log: ScheduleLog = ScheduleLog::default();
+        let sim = Sim::new(
+            Box::new(ScriptedPolicy::new(script.to_vec(), log.clone())),
+            SimConfig::default(),
+        );
+        sim.arm_race_detector();
+        let collect = scenario(&sim);
+        let (elapsed, error, payload) = match sim.run() {
+            Ok(c) => (c.0, None, collect()),
+            Err(e) => (sim.now().0, Some(e.to_string()), Vec::new()),
+        };
+        let choices = log.lock().clone();
+        RunResult {
+            outcome: Outcome {
+                elapsed,
+                cpu: Vec::new(),
+                payload,
+                error,
+            },
+            choices,
+            footprints: sim.race_footprints(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod race_tests;
+
 // The tracing subsystem this engine reports into, re-exported so kernel
 // models and the harness share one set of attribution types.
 pub use tnt_trace as trace;

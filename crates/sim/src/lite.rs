@@ -22,7 +22,7 @@ use std::sync::Arc;
 use parking_lot::Mutex;
 use tnt_proc::{Core, Lid, LiteProc, Step, Wake, WaitReason};
 
-use crate::engine::{LitePollGuard, Sim, WaitId};
+use crate::engine::{LitePollGuard, Sim, WaitId, MUTANT_SKIP_ANY_CANCEL};
 use crate::time::Cycles;
 use crate::trace::Counter;
 
@@ -232,8 +232,13 @@ fn drive(sim: &Sim, core: &mut Core<ProcCtx>, switch_cost: Cycles) {
         core.fire_due(sim.now().0);
         // `Any` waits whose deadline won: disarm their queue tokens so a
         // later signal cannot wake the process out of its next wait.
+        // Planted bug (`MUTANT_SKIP_ANY_CANCEL`): skip the disarm and
+        // leave stale tokens parked on the queues.
         for lid in core.drain_timed_out() {
             if let Some(armed) = any_parked.remove(&lid.0) {
+                if sim.mutant_enabled(MUTANT_SKIP_ANY_CANCEL) {
+                    continue;
+                }
                 for t in armed.into_iter().flatten() {
                     sim.lite_wait_cancel(t);
                 }
