@@ -102,6 +102,13 @@ impl BufferCache {
         self.disk.stats()
     }
 
+    /// The underlying disk, for callers that need its full statistics
+    /// surface (the capture/replay equality experiments compare
+    /// [`Disk::busy_cycles`] across a record/replay pair).
+    pub fn disk(&self) -> &Arc<Disk> {
+        &self.disk
+    }
+
     /// Bytes of dirty data currently held.
     pub fn dirty_bytes(&self) -> u64 {
         self.state.lock().dirty.len() as u64 * self.params.block_bytes

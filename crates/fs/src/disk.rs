@@ -14,7 +14,9 @@ use tnt_sim::Cycles;
 /// Transparent retries the driver performs on a transient command fault
 /// before surfacing `EIO` to the filesystem (the classic `sd` retry
 /// budget). Each retry re-pays the full mechanical service time.
-const DISK_RETRIES: u32 = 2;
+/// Public so the trace replayer (`tnt-harness`) can mirror the driver's
+/// retry behaviour when it drives [`Disk::command`] directly.
+pub const DISK_RETRIES: u32 = 2;
 
 /// Mechanical and transfer parameters of a drive.
 #[derive(Clone, Copy, Debug)]
@@ -74,6 +76,10 @@ struct DiskState {
     reads: u64,
     writes: u64,
     blocks_moved: u64,
+    /// Total mechanical service time of every command issued, remap
+    /// spikes included — the drive's busy time. Capture-vs-replay
+    /// equality is asserted on this total.
+    busy: Cycles,
     /// Transient command faults absorbed by driver retries.
     faults: u64,
     /// Sector-remap latency spikes paid.
@@ -106,6 +112,7 @@ impl Disk {
                 reads: 0,
                 writes: 0,
                 blocks_moved: 0,
+                busy: Cycles::ZERO,
                 faults: 0,
                 remaps: 0,
             }),
@@ -128,6 +135,15 @@ impl Disk {
     pub fn fault_stats(&self) -> (u64, u64) {
         let st = self.state.lock();
         (st.faults, st.remaps)
+    }
+
+    /// Total mechanical service time of every command issued so far
+    /// (remap spikes included). A deterministic function of the command
+    /// sequence alone, so a faithful replay of a capture reproduces it
+    /// exactly — the equality experiments x11/x12 assert.
+    #[must_use]
+    pub fn busy_cycles(&self) -> Cycles {
+        self.state.lock().busy
     }
 
     /// Seek time for a head movement of `dist` blocks, using the classic
@@ -181,33 +197,8 @@ impl Disk {
     /// and surfaces `EIO` only when the budget is spent. With faults off
     /// this is infallible and byte-identical to the faultless model.
     pub fn io(&self, env: &KEnv, kind: IoKind, addr: u64, blocks: u64) -> SysResult<()> {
-        let counter = match kind {
-            IoKind::Read => Counter::DiskReads,
-            IoKind::Write => Counter::DiskWrites,
-        };
         for _attempt in 0..=DISK_RETRIES {
-            // Each attempt is a command the bus carried, so each counts.
-            env.sim.count(counter, 1);
-            let mut phases = {
-                let mut st = self.state.lock();
-                let phases = self.service_phases(st.head, addr, blocks);
-                st.head = addr + blocks;
-                match kind {
-                    IoKind::Read => st.reads += 1,
-                    IoKind::Write => st.writes += 1,
-                }
-                st.blocks_moved += blocks;
-                phases
-            };
-            if env.sim.faults().disk_remap() {
-                // The drive transparently revectors the sector: extra arm
-                // travel to the spare cylinder plus one lost revolution,
-                // charged to the seek phase where an observer's timing
-                // would see it.
-                self.state.lock().remaps += 1;
-                env.sim.count(Counter::DiskRemaps, 1);
-                phases[0] = phases[0] + self.seek_time(self.params.total_blocks) + self.params.rotation();
-            }
+            let phases = self.issue(env, kind, addr, blocks);
             for (class, t) in [Class::DiskSeek, Class::DiskRotation, Class::DiskMedia]
                 .into_iter()
                 .zip(phases)
@@ -226,6 +217,72 @@ impl Disk {
             env.sim.count(Counter::DiskFaults, 1);
         }
         Err(Errno::EIO)
+    }
+
+    /// Issues one command **without sleeping**: counts it, captures it
+    /// to the workload recorder, moves the head, pays the remap roll,
+    /// and returns the mechanical phases plus whether the command
+    /// completed (one transient-fault roll, as in [`Disk::io`]). The
+    /// caller owes the drive the phase sum of simulated time — the
+    /// trace replayer pays it by *returning* `Step::Block` from a lite
+    /// process's `poll`, where the sleeping [`Disk::io`] is off limits.
+    ///
+    /// Statistics ([`Disk::stats`], [`Disk::busy_cycles`],
+    /// [`Disk::fault_stats`]) advance exactly as for one [`Disk::io`]
+    /// attempt, so a faithful replay of a recorded command sequence
+    /// reproduces the recorded totals. The only behavioural difference
+    /// from `io` is fault-roll *timing*: `io` rolls the transient fault
+    /// after the mechanical sleep, `command` rolls it at issue — both
+    /// sides of a capture/replay pair see the same per-command
+    /// distributions either way.
+    pub fn command(&self, env: &KEnv, kind: IoKind, addr: u64, blocks: u64) -> ([Cycles; 3], bool) {
+        let phases = self.issue(env, kind, addr, blocks);
+        let ok = !env.sim.faults().disk_transient();
+        if !ok {
+            self.state.lock().faults += 1;
+            env.sim.count(Counter::DiskFaults, 1);
+        }
+        (phases, ok)
+    }
+
+    /// The shared front half of [`Disk::io`] and [`Disk::command`]:
+    /// everything a command does besides occupying simulated time and
+    /// rolling its transient fault.
+    fn issue(&self, env: &KEnv, kind: IoKind, addr: u64, blocks: u64) -> [Cycles; 3] {
+        let counter = match kind {
+            IoKind::Read => Counter::DiskReads,
+            IoKind::Write => Counter::DiskWrites,
+        };
+        // Each attempt is a command the bus carried, so each counts —
+        // and each is what the workload recorder captures: replaying
+        // the capture re-issues exactly the commands the bus saw.
+        env.sim.count(counter, 1);
+        env.sim.record_block(kind == IoKind::Write, addr, blocks);
+        let mut phases = {
+            let mut st = self.state.lock();
+            let phases = self.service_phases(st.head, addr, blocks);
+            st.head = addr + blocks;
+            match kind {
+                IoKind::Read => st.reads += 1,
+                IoKind::Write => st.writes += 1,
+            }
+            st.blocks_moved += blocks;
+            phases
+        };
+        if env.sim.faults().disk_remap() {
+            // The drive transparently revectors the sector: extra arm
+            // travel to the spare cylinder plus one lost revolution,
+            // charged to the seek phase where an observer's timing
+            // would see it.
+            self.state.lock().remaps += 1;
+            env.sim.count(Counter::DiskRemaps, 1);
+            phases[0] = phases[0] + self.seek_time(self.params.total_blocks) + self.params.rotation();
+        }
+        {
+            let mut st = self.state.lock();
+            st.busy = st.busy + phases[0] + phases[1] + phases[2];
+        }
+        phases
     }
 }
 

@@ -369,20 +369,25 @@ impl Filesystem for SimFs {
                 Err(e) => return Err(e),
             }
         };
-        match action {
+        let opened = match action {
             Action::Existing(ino, depth) => {
                 self.charge_namei(env, depth);
                 self.touch_inode(env, ino)?;
-                Ok(ino)
+                ino
             }
             Action::Created { ino, depth, meta } => {
                 self.charge_namei(env, depth);
                 // Freshly created: the inode is in core by construction.
                 self.meta.lock().touch(ino);
                 self.meta_writes(env, &meta, self.params.sync_create)?;
-                Ok(ino)
+                ino
             }
-        }
+        };
+        // Successful opens are captured as file-layer context markers;
+        // replay groups them with the block commands they precede.
+        env.sim
+            .record_path_event(tnt_sim::replay::Op::FileOpen, path);
+        Ok(opened)
     }
 
     fn read(&self, env: &KEnv, vnode: VnodeId, off: u64, len: u64) -> SysResult<u64> {
@@ -562,6 +567,8 @@ impl Filesystem for SimFs {
         };
         self.charge_namei(env, depth);
         self.meta_writes(env, &meta, self.params.sync_unlink)?;
+        env.sim
+            .record_path_event(tnt_sim::replay::Op::FileUnlink, path);
         Ok(())
     }
 

@@ -38,6 +38,6 @@ mod fsimpl;
 mod params;
 
 pub use bufcache::{BufferCache, CacheParams};
-pub use disk::{Disk, DiskParams, IoKind};
+pub use disk::{Disk, DiskParams, IoKind, DISK_RETRIES};
 pub use fsimpl::{CrashReport, SimFs};
 pub use params::FsParams;

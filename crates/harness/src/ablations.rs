@@ -28,7 +28,9 @@ use tnt_sim::Series;
 
 /// The extra experiment ids, in presentation order.
 pub fn extra_ids() -> Vec<&'static str> {
-    vec!["x1", "x2", "x3", "x4", "x5", "x6", "x7", "x8", "x9", "x10"]
+    vec![
+        "x1", "x2", "x3", "x4", "x5", "x6", "x7", "x8", "x9", "x10", "x11", "x12",
+    ]
 }
 
 /// Runs one extra experiment.
@@ -42,12 +44,12 @@ pub fn run_extra(id: &str, scale: &Scale) -> ExperimentOutput {
         "x6" => x6_event_counters(scale),
         "x7" => x7_latencies(scale),
         "x8" => x8_nfs_degradation(scale),
-        // The farm experiments are cell-sharded plans; run them through
-        // the serial reference pipeline.
-        "x9" | "x10" => crate::experiments::run_one(id, scale)
+        // The farm and replay experiments are planned shards; run them
+        // through the serial reference pipeline.
+        "x9" | "x10" | "x11" | "x12" => crate::experiments::run_one(id, scale)
             .into_iter()
             .next()
-            .expect("farm plan renders one output"),
+            .expect("planned shard renders one output"),
         other => panic!("unknown ablation id {other:?}"),
     }
 }

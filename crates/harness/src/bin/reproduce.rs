@@ -25,11 +25,14 @@ use std::process::ExitCode;
 
 use tnt_harness::cli::{self, Cli, Mode};
 use tnt_harness::{
-    all_ids, conservation_audit, execute, explore_ids, explore_json, extra_ids, farm_sweep,
-    lite_ring, plan, profile_one, render_explore, run_explore, threaded_ring, threaded_ring_hb,
-    ExperimentResult, RingResult, Scale,
+    all_ids, capture_experiment, conservation_audit, execute, explore_ids, explore_json,
+    extra_ids, farm_sweep, lite_ring, plan, profile_one, render_explore, replay_fixture_ids,
+    replay_trace, run_explore, threaded_ring, threaded_ring_hb, ExperimentResult, RingResult,
+    ReplayOptions, ReplayReport, Scale,
 };
 use tnt_runner::{json::Value, BaselineStore, ExperimentRecord};
+use tnt_sim::replay::Trace;
+use tnt_sim::CPU_HZ;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -67,6 +70,10 @@ fn main() -> ExitCode {
             for id in explore_ids() {
                 println!("explore/{id}");
             }
+            // So are the vendored replay fixtures (they are traces).
+            for id in replay_fixture_ids() {
+                println!("replay/{id}");
+            }
             ExitCode::SUCCESS
         }
         Mode::Run => run(&cli),
@@ -76,7 +83,160 @@ fn main() -> ExitCode {
         Mode::BenchEngine => bench_engine(&cli),
         Mode::Farm => farm(&cli),
         Mode::Explore => explore_cmd(&cli),
+        Mode::Replay => replay_cmd(&cli),
     }
+}
+
+/// Resolves one `replay` operand to a trace: a literal file path, or a
+/// trace stem under `OUT/traces/` (fixture names like `desktop_boot`
+/// resolve there because the vendored fixtures live in
+/// `results/traces/` and `results` is the default output dir).
+fn load_trace_arg(arg: &str, cli: &Cli) -> Result<(String, Trace), String> {
+    let mut candidates = vec![std::path::PathBuf::from(arg)];
+    let stem = cli.out_dir.join("traces").join(arg);
+    candidates.push(stem.with_extension("tntrace"));
+    candidates.push(stem.with_extension("txt"));
+    candidates.push(stem);
+    for path in candidates {
+        if !path.is_file() {
+            continue;
+        }
+        let bytes = fs::read(&path).map_err(|e| format!("{}: {e}", path.display()))?;
+        let trace = Trace::load(&bytes).map_err(|e| format!("{}: {e}", path.display()))?;
+        let name = path
+            .file_stem()
+            .map(|s| s.to_string_lossy().into_owned())
+            .unwrap_or_else(|| arg.to_string());
+        return Ok((name, trace));
+    }
+    Err(format!(
+        "no trace named {arg:?}: not a file, and not a fixture under {} (have: {})",
+        cli.out_dir.join("traces").display(),
+        replay_fixture_ids().join(" ")
+    ))
+}
+
+fn replay_json(r: &ReplayReport) -> Value {
+    Value::Obj(vec![
+        ("events".into(), Value::Num(r.events as f64)),
+        ("file_events".into(), Value::Num(r.file_events as f64)),
+        ("commands".into(), Value::Num(r.commands as f64)),
+        ("reads".into(), Value::Num(r.reads as f64)),
+        ("writes".into(), Value::Num(r.writes as f64)),
+        ("blocks_moved".into(), Value::Num(r.blocks_moved as f64)),
+        ("busy_cy".into(), Value::Num(r.busy_cy as f64)),
+        ("elapsed_cy".into(), Value::Num(r.elapsed_cy as f64)),
+        ("faults".into(), Value::Num(r.faults as f64)),
+        ("eio".into(), Value::Num(r.eio as f64)),
+        ("streams".into(), Value::Num(r.streams as f64)),
+    ])
+}
+
+/// Replays traces (vendored fixtures, files, or fresh `--record`
+/// captures) through the disk model on every benchmarked OS.
+fn replay_cmd(cli: &Cli) -> ExitCode {
+    let scale = cli.scale();
+    println!("tnt replay — trace-driven workload replay (docs/TRACE_FORMAT.md)\n");
+    if !cli.faults.is_off() {
+        println!("faults: {} (deterministic, seed-driven)\n", cli.faults.name());
+    }
+    fs::create_dir_all(&cli.out_dir).expect("create output directory");
+
+    let mut targets: Vec<(String, Trace)> = Vec::new();
+    if let Some(id) = &cli.record {
+        // Capture first: every machine the experiment boots publishes
+        // its recorded trace; each lands next to the vendored fixtures.
+        let traces = capture_experiment(id, &scale);
+        if traces.is_empty() {
+            eprintln!("reproduce replay: --record {id} captured no disk or namespace activity");
+            return ExitCode::FAILURE;
+        }
+        let dir = cli.out_dir.join("traces");
+        fs::create_dir_all(&dir).expect("create trace directory");
+        for (k, trace) in traces.iter().enumerate() {
+            let name = format!("{id}_{k}");
+            let path = dir.join(format!("{name}.tntrace"));
+            fs::write(&path, trace.to_bytes()).expect("write capture");
+            println!(
+                "  [captured {} event(s) -> {}]",
+                trace.len(),
+                path.display()
+            );
+            targets.push((name, trace.clone()));
+        }
+        println!();
+    }
+    for arg in &cli.ids {
+        match load_trace_arg(arg, cli) {
+            Ok(target) => targets.push(target),
+            Err(err) => {
+                eprintln!("reproduce replay: {err}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    if targets.is_empty() {
+        eprintln!(
+            "reproduce replay: name a fixture or trace file, or pass --record ID\n{}",
+            cli::usage()
+        );
+        return ExitCode::from(2);
+    }
+
+    let ms = |cy: u64| cy as f64 * 1_000.0 / CPU_HZ as f64;
+    let mut docs: Vec<Value> = Vec::new();
+    for (name, trace) in &targets {
+        println!(
+            "== replay {name}: {} event(s), {} path(s), recorded span {:.2} ms ==",
+            trace.len(),
+            trace.paths.len(),
+            ms(trace.span())
+        );
+        println!(
+            "  {:<12} {:>6} {:>6} {:>7} {:>8} {:>11} {:>11} {:>5}",
+            "OS", "cmds", "reads", "writes", "blocks", "busy ms", "timed ms", "eio"
+        );
+        let mut os_docs: Vec<(String, Value)> = Vec::new();
+        for os in tnt_core::Os::benchmarked() {
+            let asap = replay_trace(trace, os, 1, ReplayOptions::asap());
+            let timed = replay_trace(trace, os, 1, ReplayOptions::timed());
+            println!(
+                "  {:<12} {:>6} {:>6} {:>7} {:>8} {:>11.2} {:>11.2} {:>5}",
+                os.label(),
+                asap.commands,
+                asap.reads,
+                asap.writes,
+                asap.blocks_moved,
+                ms(asap.busy_cy),
+                ms(timed.elapsed_cy),
+                asap.eio,
+            );
+            os_docs.push((
+                os.label().to_string(),
+                Value::Obj(vec![
+                    ("asap".into(), replay_json(&asap)),
+                    ("timed".into(), replay_json(&timed)),
+                ]),
+            ));
+        }
+        println!();
+        docs.push(Value::Obj(vec![
+            ("trace".into(), Value::Str(name.clone())),
+            ("events".into(), Value::Num(trace.len() as f64)),
+            ("span_cy".into(), Value::Num(trace.span() as f64)),
+            ("os".into(), Value::Obj(os_docs)),
+        ]));
+    }
+    let doc = Value::Obj(vec![
+        ("mode".into(), Value::Str("replay".into())),
+        ("scale".into(), Value::Str(scale.label.to_string())),
+        ("faults".into(), Value::Str(cli.faults.name().to_string())),
+        ("replays".into(), Value::Arr(docs)),
+    ]);
+    let path = cli.out_dir.join("REPLAY.json");
+    fs::write(&path, doc.render()).expect("write replay artifact");
+    println!("replay artifact written to {}", path.display());
+    ExitCode::SUCCESS
 }
 
 /// Exhaustive schedule exploration of the canned concurrency scenarios:

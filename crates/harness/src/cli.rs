@@ -30,6 +30,9 @@ pub enum Mode {
     /// Exhaustively explore the schedules of the canned concurrency
     /// scenarios; write `EXPLORE.json`.
     Explore,
+    /// Replay `.tntrace` workload traces (named fixtures or paths)
+    /// through the disk model on every OS; write `REPLAY.json`.
+    Replay,
     /// Print every experiment id (including ablations) and exit.
     List,
     /// Print usage and exit.
@@ -65,6 +68,10 @@ pub struct Cli {
     /// Run the cycle-conservation audit after the suite, and arm the
     /// ambient happens-before race detector for every simulation.
     pub audit: bool,
+    /// `--record <id>`: capture the named experiment's disk/namespace
+    /// activity to `.tntrace` files instead of (or before) replaying.
+    /// Only meaningful with the `replay` subcommand.
+    pub record: Option<String>,
     /// `explore --all`: run every canned scenario (equivalent to naming
     /// none, spelled out for scripts).
     pub explore_all: bool,
@@ -80,9 +87,10 @@ pub struct Cli {
 /// The usage string printed by `--help` and prefixed to parse errors.
 pub fn usage() -> String {
     format!(
-        "usage: reproduce [bless|check|bench|bench-engine|farm|explore] [--quick|--full] \
-         [--jobs N] [--tolerance PCT] [--profile] [--audit] [--all] \
-         [--faults off|smoke|lossy] [--out DIR] [--markdown FILE] [ids...|all]\n\
+        "usage: reproduce [bless|check|bench|bench-engine|farm|explore|replay] \
+         [--quick|--full] [--jobs N] [--tolerance PCT] [--profile] [--audit] [--all] \
+         [--faults off|smoke|lossy] [--record ID] [--out DIR] [--markdown FILE] \
+         [ids...|all]\n\
          \n\
          subcommands:\n\
          \x20 (none)   run the experiments and print each table/figure\n\
@@ -102,6 +110,13 @@ pub fn usage() -> String {
          \x20          and fail unless each scenario's outcome is identical on\n\
          \x20          every schedule, with no deadlocks or lost wakeups; write\n\
          \x20          EXPLORE.json. Name scenarios or pass --all\n\
+         \x20 replay   drive recorded workload traces (docs/TRACE_FORMAT.md)\n\
+         \x20          through the disk model on every OS: name vendored\n\
+         \x20          fixtures ({}) or paths to .tntrace/.txt/blkparse files;\n\
+         \x20          prints per-OS disk busy/elapsed totals, writes\n\
+         \x20          REPLAY.json. With --record ID, first captures that\n\
+         \x20          experiment's runs to OUT/traces/*.tntrace and replays\n\
+         \x20          them. Composes with --faults for degraded replays\n\
          \n\
          --audit runs the cycle-conservation audit after the suite: every\n\
          profileable experiment is re-sampled under tracing and charged\n\
@@ -118,6 +133,7 @@ pub fn usage() -> String {
          experiments: {}\n\
          ablations:   {}\n\
          scenarios:   {}",
+        crate::replay_fixture_ids().join(" "),
         all_ids().join(" "),
         extra_ids().join(" "),
         crate::explore_ids().join(" ")
@@ -143,6 +159,7 @@ pub fn parse(args: Vec<String>) -> Result<Cli, String> {
         profile: false,
         faults: FaultProfile::off(),
         audit: false,
+        record: None,
         explore_all: false,
         out_dir: PathBuf::from("results"),
         markdown: None,
@@ -157,6 +174,7 @@ pub fn parse(args: Vec<String>) -> Result<Cli, String> {
             "bench-engine" => cli.mode = Mode::BenchEngine,
             "farm" => cli.mode = Mode::Farm,
             "explore" => cli.mode = Mode::Explore,
+            "replay" => cli.mode = Mode::Replay,
             "--all" => cli.explore_all = true,
             "--list" => cli.mode = Mode::List,
             "--help" | "-h" => cli.mode = Mode::Help,
@@ -171,6 +189,11 @@ pub fn parse(args: Vec<String>) -> Result<Cli, String> {
                 cli.faults = FaultProfile::parse(&raw).ok_or_else(|| {
                     format!("--faults got {raw:?}, want off|smoke|lossy\n{}", usage())
                 })?;
+            }
+            "--record" => {
+                cli.record = Some(iter.next().ok_or_else(|| {
+                    format!("--record needs an experiment id\n{}", usage())
+                })?);
             }
             "--jobs" | "-j" => cli.jobs = parse_number("--jobs", iter.next())?,
             "--tolerance" => cli.tolerance_pct = parse_number("--tolerance", iter.next())?,
@@ -193,6 +216,12 @@ pub fn parse(args: Vec<String>) -> Result<Cli, String> {
     }
     if cli.tolerance_pct < 0.0 {
         return Err(format!("--tolerance must be >= 0\n{}", usage()));
+    }
+    if cli.record.is_some() && cli.mode != Mode::Replay {
+        return Err(format!(
+            "--record only makes sense with the replay subcommand\n{}",
+            usage()
+        ));
     }
     Ok(cli)
 }
@@ -357,6 +386,44 @@ mod tests {
         assert!(u.contains("explore"));
         for id in crate::explore_ids() {
             assert!(u.contains(id), "{id} missing from usage");
+        }
+    }
+
+    #[test]
+    fn replay_parses_with_fixtures_and_record() {
+        let cli = parse(args(&["replay", "desktop_boot"])).unwrap();
+        assert_eq!(cli.mode, Mode::Replay);
+        assert_eq!(cli.ids, vec!["desktop_boot"]);
+        assert!(cli.record.is_none());
+        let cli = parse(args(&["replay", "--record", "f9", "--faults", "lossy"])).unwrap();
+        assert_eq!(cli.mode, Mode::Replay);
+        assert_eq!(cli.record.as_deref(), Some("f9"));
+        assert_eq!(cli.faults, FaultProfile::lossy());
+        // The usage text documents the subcommand and every fixture.
+        let u = usage();
+        assert!(u.contains("replay") && u.contains("REPLAY.json"));
+        for id in crate::replay_fixture_ids() {
+            assert!(u.contains(id), "{id} missing from usage");
+        }
+    }
+
+    #[test]
+    fn record_needs_replay_mode_and_a_value() {
+        assert!(parse(args(&["replay", "--record"])).is_err());
+        let err = parse(args(&["--record", "f9", "t2"])).unwrap_err();
+        assert!(err.contains("replay subcommand"), "{err}");
+        let err = parse(args(&["check", "--record", "f9"])).unwrap_err();
+        assert!(err.contains("usage:"), "{err}");
+    }
+
+    #[test]
+    fn replay_still_rejects_unknown_flags() {
+        // Strictness survives the new subcommand: a typo'd subflag next
+        // to `replay` is an error, never a trace name.
+        for bad in ["--recrod", "--asap", "-t"] {
+            let err = parse(args(&["replay", bad, "desktop_boot"])).unwrap_err();
+            assert!(err.contains(bad), "error names the flag: {err}");
+            assert!(err.contains("usage:"), "error shows usage: {err}");
         }
     }
 

@@ -139,6 +139,8 @@ pub(crate) fn plan_one(id: &str, scale: &Scale) -> ExperimentPlan {
         }
         "x9" => crate::farm::plan_x9(scale),
         "x10" => crate::farm::plan_x10(scale),
+        "x11" => crate::replay::plan_x11(scale),
+        "x12" => crate::replay::plan_x12(scale),
         other => panic!("unknown experiment id {other:?}"),
     }
 }

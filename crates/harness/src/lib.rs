@@ -34,6 +34,7 @@ mod farm;
 mod plan;
 mod plot;
 mod profile;
+mod replay;
 mod scale;
 mod table;
 
@@ -52,6 +53,10 @@ pub use plot::{Figure, XScale};
 pub use profile::{
     profile_experiment, profile_ids, profile_one, ProfileOutput, ProfiledSample,
     PROFILE_RING_CAPACITY,
+};
+pub use replay::{
+    capture_experiment, desktop_boot_trace, replay_fixture_ids, replay_trace, ReplayMode,
+    ReplayOptions, ReplayReport,
 };
 pub use scale::Scale;
 pub use table::{Direction, Row, Table};

@@ -45,6 +45,10 @@ pub struct Scale {
     pub farm_requests: usize,
     /// Client crowd size for the x10 crowd-service experiment.
     pub farm_crowd: usize,
+    /// Frames captured by the x11 video record-and-replay experiment.
+    pub replay_video_frames: u32,
+    /// Compilation units captured by the x12 compile-burst replay.
+    pub replay_compile_files: u32,
 }
 
 impl Scale {
@@ -74,6 +78,8 @@ impl Scale {
             farm_nfs_rates: vec![60.0, 110.0, 160.0, 210.0],
             farm_requests: 800,
             farm_crowd: 4_000,
+            replay_video_frames: 90,
+            replay_compile_files: 40,
         }
     }
 
@@ -99,6 +105,8 @@ impl Scale {
             farm_nfs_rates: vec![80.0, 160.0],
             farm_requests: 300,
             farm_crowd: 1_500,
+            replay_video_frames: 30,
+            replay_compile_files: 16,
         }
     }
 
@@ -124,6 +132,8 @@ impl Scale {
             farm_nfs_rates: vec![120.0],
             farm_requests: 120,
             farm_crowd: 400,
+            replay_video_frames: 6,
+            replay_compile_files: 4,
         }
     }
 

@@ -138,9 +138,11 @@ fn records_cover_the_whole_suite() {
     let flat = run_suite(4);
     let store = BaselineStore::from_json(&flat.baselines).unwrap();
     assert_eq!(store.scale, "smoke");
-    // One record per output id: 20 paper experiments + 10 ablations.
-    assert_eq!(store.records.len(), 30);
-    for required in ["t1", "t2", "f1", "f9", "f10", "f11", "t7", "x1", "x7", "x8", "x9", "x10"] {
+    // One record per output id: 20 paper experiments + 12 ablations.
+    assert_eq!(store.records.len(), 32);
+    for required in [
+        "t1", "t2", "f1", "f9", "f10", "f11", "t7", "x1", "x7", "x8", "x9", "x10", "x11", "x12",
+    ] {
         assert!(
             store.records.iter().any(|r| r.id == required),
             "{required} missing from records"

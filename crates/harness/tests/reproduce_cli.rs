@@ -40,6 +40,79 @@ fn list_prints_paper_experiments_and_ablations() {
     for id in ["explore/mutex-contention", "explore/timer-race"] {
         assert!(ids.contains(&id), "--list missing {id}:\n{stdout}");
     }
+    // The replay experiments and the vendored trace fixtures are listed
+    // too: x11/x12 among the ablations, fixtures in their namespace.
+    for id in [
+        "x11",
+        "x12",
+        "replay/desktop_boot",
+        "replay/compile_burst",
+        "replay/blkparse_sample",
+    ] {
+        assert!(ids.contains(&id), "--list missing {id}:\n{stdout}");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn replay_fixture_runs_deterministically_and_writes_the_artifact() {
+    let dir = temp_dir("replay");
+    let res = dir.join("res");
+    let fixture = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../../results/traces/desktop_boot.tntrace");
+    let args = ["replay", fixture.to_str().unwrap(), "--out", res.to_str().unwrap()];
+    let first = reproduce(&args, &dir);
+    assert!(
+        first.status.success(),
+        "replay failed:\n{}",
+        String::from_utf8_lossy(&first.stderr)
+    );
+    let stdout = String::from_utf8(first.stdout.clone()).unwrap();
+    assert!(stdout.contains("desktop_boot"), "{stdout}");
+    for os in ["Linux", "FreeBSD", "Solaris"] {
+        assert!(stdout.contains(os), "{os} row missing:\n{stdout}");
+    }
+    let artifact = std::fs::read_to_string(res.join("REPLAY.json")).unwrap();
+    assert!(artifact.contains("\"busy_cy\""), "{artifact}");
+    assert!(artifact.contains("desktop_boot"), "{artifact}");
+    // Byte-determinism: the blessed record is the whole point.
+    let second = reproduce(&args, &dir);
+    assert_eq!(first.stdout, second.stdout, "replay output must be byte-stable");
+
+    // An unknown trace is a usage error naming the fixtures.
+    let bad = reproduce(&["replay", "no_such_trace"], &dir);
+    assert_eq!(bad.status.code(), Some(2));
+    let stderr = String::from_utf8(bad.stderr).unwrap();
+    assert!(stderr.contains("no_such_trace"), "{stderr}");
+    assert!(stderr.contains("desktop_boot"), "{stderr}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn replay_record_captures_and_replays_an_experiment() {
+    let dir = temp_dir("replay-record");
+    let res = dir.join("res");
+    let out = reproduce(
+        &["replay", "--record", "x5", "--out", res.to_str().unwrap()],
+        &dir,
+    );
+    assert!(
+        out.status.success(),
+        "replay --record failed:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("captured"), "{stdout}");
+    // One .tntrace per machine x5 booted, next to future fixtures.
+    let captures: Vec<_> = std::fs::read_dir(res.join("traces"))
+        .expect("traces dir")
+        .map(|e| e.unwrap().file_name().into_string().unwrap())
+        .collect();
+    assert!(
+        captures.iter().any(|n| n.starts_with("x5_") && n.ends_with(".tntrace")),
+        "no captures written: {captures:?}"
+    );
+    assert!(res.join("REPLAY.json").is_file());
     let _ = std::fs::remove_dir_all(&dir);
 }
 

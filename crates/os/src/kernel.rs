@@ -81,6 +81,7 @@ pub fn boot_with(costs: OsCosts, seed: u64) -> (Sim, Kernel) {
             seed,
             jitter: costs.jitter,
             faults: tnt_sim::fault::ambient(),
+            record: tnt_sim::replay::ambient(),
         },
     );
     let kernel = Kernel::attach(&sim, costs, 0, tasks);
@@ -118,6 +119,7 @@ pub fn boot_cluster_with_faults(
             seed,
             jitter: costs[0].jitter,
             faults,
+            record: tnt_sim::replay::ambient(),
         },
     );
     let kernels = costs

@@ -271,7 +271,7 @@ impl<C> Core<C> {
     }
 
     /// Wakes a blocked process via the `idx`-th queue of its wait set,
-    /// recording [`Wake::Queue(idx)`] for [`Core::wake_of`]. Returns
+    /// recording [`Wake::Queue`]`(idx)` for [`Core::wake_of`]. Returns
     /// `false` for stale wakeups.
     pub fn wake_queue(&mut self, lid: Lid, idx: u8) -> bool {
         let slot = match self.slots.get_mut(lid.0 as usize) {

@@ -11,7 +11,7 @@
 //!   operations). Baton handoffs are scheduler choices, not edges, so
 //!   accesses ordered only by "who happened to run first" are reported
 //!   as races.
-//! * [`explore`] — a loom-style **bounded schedule explorer** that
+//! * [`fn@explore`] — a loom-style **bounded schedule explorer** that
 //!   replays a small scenario under every interleaving (with sleep-set
 //!   pruning fed by the detector's footprints) and asserts the outcome
 //!   never changes and no schedule deadlocks.

@@ -1,0 +1,87 @@
+//! Property tests for the `.tntrace` format: arbitrary traces survive a
+//! binary and a text round trip byte-for-byte, every truncation is a
+//! clean error (never a panic, never a silently short trace), and every
+//! single-byte header corruption is rejected — all 32 header bytes are
+//! load-bearing (docs/TRACE_FORMAT.md).
+
+use proptest::prelude::*;
+use tnt_replay::{Op, Trace, TraceEvent};
+
+const OPS: [Op; 4] = [Op::BlockRead, Op::BlockWrite, Op::FileOpen, Op::FileUnlink];
+
+/// Builds a valid trace from raw generator output: file-layer events
+/// must reference an interned path, so their `arg` is reduced mod the
+/// path count.
+fn build(paths: Vec<String>, raw: Vec<(u32, u32, usize, u64, u64)>) -> Trace {
+    let plen = paths.len() as u64;
+    let events = raw
+        .into_iter()
+        .map(|(t, pid, opi, arg, size)| {
+            let op = OPS[opi % OPS.len()];
+            let arg = if op.is_block() { arg } else { arg % plen };
+            TraceEvent {
+                t: u64::from(t),
+                pid,
+                op,
+                arg,
+                size,
+            }
+        })
+        .collect();
+    Trace { paths, events }
+}
+
+fn sample() -> Trace {
+    build(
+        vec!["/etc/motd".into(), "/tmp/a".into()],
+        vec![
+            (0, 1, 0, 2_048, 8),
+            (150, 1, 2, 0, 0),
+            (300, 2, 1, 9_000, 16),
+            (450, 2, 3, 1, 0),
+        ],
+    )
+}
+
+proptest! {
+    #[test]
+    fn both_encodings_round_trip(
+        paths in prop::collection::vec("[a-z/.]{1,12}", 1..4usize),
+        raw in prop::collection::vec(
+            (any::<u32>(), 0u32..8, 0usize..4, any::<u64>(), 0u64..10_000),
+            0..64usize,
+        ),
+    ) {
+        let trace = build(paths, raw);
+        let bytes = trace.to_bytes();
+        prop_assert_eq!(&Trace::from_bytes(&bytes).unwrap(), &trace);
+        prop_assert_eq!(&Trace::from_text(&trace.to_text()).unwrap(), &trace);
+        // Re-encoding is byte-stable, so vendored fixtures are canonical.
+        prop_assert_eq!(Trace::from_bytes(&bytes).unwrap().to_bytes(), bytes);
+    }
+
+    #[test]
+    fn every_truncation_is_a_clean_error(frac in 0.0f64..1.0) {
+        let bytes = sample().to_bytes();
+        let cut = ((bytes.len() as f64) * frac) as usize;
+        prop_assert!(cut < bytes.len());
+        prop_assert!(Trace::from_bytes(&bytes[..cut]).is_err());
+    }
+
+    #[test]
+    fn every_header_byte_is_load_bearing(at in 0usize..32, flip in 1u8..=255) {
+        let mut bytes = sample().to_bytes();
+        bytes[at] ^= flip;
+        prop_assert!(
+            Trace::from_bytes(&bytes).is_err(),
+            "header byte {} corrupted with {:#04x} was accepted", at, flip
+        );
+    }
+
+    #[test]
+    fn trailing_garbage_is_rejected(extra in 1usize..64) {
+        let mut bytes = sample().to_bytes();
+        bytes.extend(std::iter::repeat_n(0u8, extra));
+        prop_assert!(Trace::from_bytes(&bytes).is_err());
+    }
+}

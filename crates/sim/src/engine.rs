@@ -136,6 +136,12 @@ pub struct SimConfig {
     /// disables injection with zero RNG cost, leaving the run
     /// bit-identical to a faultless build.
     pub faults: FaultProfile,
+    /// Arms the workload recorder ([`Sim::recorder`]) from birth, so
+    /// the run's disk commands and file-layer events are captured as a
+    /// `tnt_replay::Trace`. Off (the default) costs one relaxed atomic
+    /// load per event site and the run is byte-identical to a build
+    /// without the capture shim.
+    pub record: bool,
 }
 
 impl Default for SimConfig {
@@ -144,6 +150,7 @@ impl Default for SimConfig {
             seed: 0,
             jitter: 0.0,
             faults: FaultProfile::off(),
+            record: false,
         }
     }
 }
@@ -347,6 +354,10 @@ struct Inner {
     /// Fault-injection plan: the configured profile plus its own seeded
     /// RNG stream, so fault rolls never perturb the jitter stream.
     faults: FaultPlan,
+    /// Workload recorder (tnt-replay capture shim). Disabled by default
+    /// (one relaxed load per emit site); armed by `SimConfig::record`
+    /// or explicitly via [`Sim::recorder`].
+    recorder: tnt_replay::Recorder,
 }
 
 thread_local! {
@@ -449,10 +460,14 @@ impl Sim {
                 threads: Mutex::new(Vec::new()),
                 tracer: Tracer::new(),
                 faults: FaultPlan::new(config.faults, config.seed),
+                recorder: tnt_replay::Recorder::new(),
             }),
         };
         if tnt_trace::session::active() {
             sim.inner.tracer.enable(tnt_trace::session::ring_capacity());
+        }
+        if config.record {
+            sim.inner.recorder.enable();
         }
         // Mirrors `tnt_fault::set_ambient`: `reproduce --audit` arms the
         // happens-before checker for every simulation it builds.
@@ -474,6 +489,34 @@ impl Sim {
     /// roll is a free `false`.
     pub fn faults(&self) -> &FaultPlan {
         &self.inner.faults
+    }
+
+    /// The simulation's workload recorder (always present, capturing
+    /// only while enabled). Arm it with `SimConfig::record`, the
+    /// ambient `tnt_replay::set_ambient` flag at boot, or directly via
+    /// `sim.recorder().enable()`; harvest with `take()`.
+    pub fn recorder(&self) -> &tnt_replay::Recorder {
+        &self.inner.recorder
+    }
+
+    /// Records a block command issued to a disk (called by the disk
+    /// model at its command boundary). Recording never moves the
+    /// simulated clock; disabled cost is one relaxed atomic load.
+    pub fn record_block(&self, write: bool, addr: u64, blocks: u64) {
+        if self.inner.recorder.is_enabled() {
+            let (t, pid) = self.stamp();
+            self.inner.recorder.record_block(t, pid, write, addr, blocks);
+        }
+    }
+
+    /// Records a file-layer event (called by the filesystem model after
+    /// a successful `open`/`unlink`). Same cost contract as
+    /// [`Sim::record_block`].
+    pub fn record_path_event(&self, op: tnt_replay::Op, path: &str) {
+        if self.inner.recorder.is_enabled() {
+            let (t, pid) = self.stamp();
+            self.inner.recorder.record_path_event(t, pid, op, path);
+        }
     }
 
     /// Starts recording trace events into a fresh ring of `capacity`.
@@ -634,6 +677,17 @@ impl Sim {
             tnt_trace::session::publish(&self.inner.tracer, final_now.0);
             // One publication per simulation even if run() is called again.
             self.inner.tracer.disable();
+        }
+        // Ambient captures (`reproduce replay --record`) flow to the
+        // process-wide sink. Publish a snapshot rather than draining:
+        // a workload that armed its own recorder explicitly (x11/x12's
+        // capture machines) still harvests the same events with
+        // `take()` after the run. Disabling stops a second `run` from
+        // publishing the trace twice.
+        if tnt_replay::ambient() && self.inner.recorder.is_enabled() && !self.inner.recorder.is_empty()
+        {
+            tnt_replay::publish(self.inner.recorder.snapshot());
+            self.inner.recorder.disable();
         }
         match error {
             None => Ok(final_now),

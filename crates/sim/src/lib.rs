@@ -77,7 +77,7 @@ pub mod race {
 
     /// Runs one scenario under a [`ScriptedPolicy`] replaying `script`,
     /// with the happens-before detector armed, and packages the outcome
-    /// for [`explore`]: the scenario's payload (empty on error — a
+    /// for [`fn@explore`]: the scenario's payload (empty on error — a
     /// failed run's partial observables are not comparable), the
     /// recorded branch points, and the per-slice footprints that feed
     /// sleep-set pruning.
@@ -120,4 +120,9 @@ pub use tnt_trace as trace;
 // The fault-injection plane the engine hosts, re-exported so device
 // models and the harness share one set of profile/plan types.
 pub use tnt_fault as fault;
+
+// The workload capture/replay plane the engine hosts (`.tntrace`
+// format, per-sim recorder, ambient capture sink), re-exported so the
+// disk/fs models and the harness share one set of trace types.
+pub use tnt_replay as replay;
 pub use time::{mb_per_sec, mbit_per_sec, Cycles, CPU_HZ, MEGABIT, MEGABYTE};

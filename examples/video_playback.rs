@@ -104,4 +104,59 @@ fn main() {
     println!("large files best, while Linux's 1 KB blocks and fragmented");
     println!("allocator drop frames; random page updates converge towards the");
     println!("disk's ~14 ms once the working set escapes the buffer cache.");
+
+    record_and_replay();
+}
+
+/// The replay plane (DESIGN.md §15): capture a short playback's disk
+/// activity as a `.tntrace` stream, then drive it back through a fresh
+/// disk model. The as-fast-as-possible replay must reproduce the
+/// recorded disk busy time exactly — same fresh disk, same command
+/// sequence, same service times.
+fn record_and_replay() {
+    use tnt_harness::{replay_trace, ReplayOptions};
+
+    println!("\n== record & replay: the same workload as a .tntrace ==\n");
+    println!(
+        "  {:<12} {:>7} {:>14} {:>14} {:>6}",
+        "OS", "events", "recorded busy", "replay busy", "match"
+    );
+    let frames = 400u64; // ~26 MB: past the buffer cache, so the disk works
+    for os in Os::benchmarked() {
+        let (sim, kernel) = tnt_os::boot(os, 1);
+        let fs = tnt_fs::SimFs::fresh_for_os(os);
+        kernel.mount(fs.clone());
+        sim.recorder().enable();
+        kernel.spawn_user("playback", move |p| {
+            let fd = p.creat("/movie.raw").unwrap();
+            for _ in 0..frames {
+                p.write(fd, FRAME_BYTES).unwrap();
+            }
+            p.close(fd).unwrap();
+            let fd = p.open("/movie.raw", OpenFlags::rdonly()).unwrap();
+            for _ in 0..frames {
+                let mut left = FRAME_BYTES;
+                while left > 0 {
+                    left -= p.read(fd, left.min(8192)).unwrap();
+                }
+            }
+            p.close(fd).unwrap();
+        });
+        sim.run().unwrap();
+        let recorded = fs.cache().disk().busy_cycles();
+        let trace = sim.recorder().take();
+        let replay = replay_trace(&trace, os, 1, ReplayOptions::asap());
+        let ms = |cy: u64| cy as f64 / 100_000.0;
+        println!(
+            "  {:<12} {:>7} {:>11.2} ms {:>11.2} ms {:>6}",
+            os.label(),
+            trace.len(),
+            ms(recorded.0),
+            ms(replay.busy_cy),
+            if replay.busy_cy == recorded.0 { "yes" } else { "NO" },
+        );
+    }
+    println!("\nsave a capture with `reproduce replay --record <id>`, inspect it");
+    println!("with docs/TRACE_FORMAT.md, and replay it on any OS model with");
+    println!("`reproduce replay <trace>` — including under `--faults lossy`.");
 }
