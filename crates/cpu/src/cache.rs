@@ -104,9 +104,17 @@ pub struct CacheStats {
 }
 
 /// One level of set-associative cache.
+///
+/// Lines are stored in one flat array (`set * ways + way`) so the per
+/// access path — the hottest loop of the memory-bandwidth figures — is a
+/// handful of shifts and a short linear scan with no pointer chasing.
 pub struct Cache {
     cfg: CacheConfig,
-    sets: Vec<Vec<Line>>,
+    lines: Vec<Line>,
+    ways: usize,
+    set_mask: usize,
+    tag_shift: u32,
+    line_shift: u32,
     clock: u64,
     stats: CacheStats,
 }
@@ -133,7 +141,11 @@ impl Cache {
         assert!(sets.is_power_of_two(), "set count must be a power of two");
         Cache {
             cfg,
-            sets: vec![vec![Line::default(); cfg.ways]; sets],
+            lines: vec![Line::default(); sets * cfg.ways],
+            ways: cfg.ways,
+            set_mask: sets - 1,
+            tag_shift: sets.trailing_zeros(),
+            line_shift: cfg.line.trailing_zeros(),
             clock: 0,
             stats: CacheStats::default(),
         }
@@ -149,65 +161,128 @@ impl Cache {
         self.stats
     }
 
+    /// Bumps the counters as if `reps` more passes with per-pass delta
+    /// `d` had run (steady-state extrapolation in `measure`).
+    pub(crate) fn add_stats(&mut self, reps: u64, d: CacheStats) {
+        self.stats.read_hits += reps * d.read_hits;
+        self.stats.read_misses += reps * d.read_misses;
+        self.stats.write_hits += reps * d.write_hits;
+        self.stats.write_misses += reps * d.write_misses;
+        self.stats.writebacks += reps * d.writebacks;
+    }
+
     /// Invalidates every line (e.g. a fresh run on a cold machine).
     pub fn flush(&mut self) {
-        for set in &mut self.sets {
-            for line in set {
-                *line = Line::default();
+        for line in &mut self.lines {
+            *line = Line::default();
+        }
+    }
+
+    #[inline]
+    fn index(&self, addr: u64) -> (usize, u64) {
+        let line_addr = addr >> self.line_shift;
+        let set = (line_addr as usize) & self.set_mask;
+        let tag = line_addr >> self.tag_shift;
+        (set * self.ways, tag)
+    }
+
+    /// Appends a normalisation of this cache's observable state to `out`:
+    /// per set, the valid lines in most-to-least-recently-used order (the
+    /// absolute LRU clock values and the physical way an invalid slot
+    /// occupies cannot affect any future access, so they are omitted).
+    /// Two caches with equal encodings behave identically forever under
+    /// identical access sequences.
+    pub(crate) fn encode_state(&self, out: &mut Vec<u64>) {
+        self.encode_state_rel(out, 0);
+    }
+
+    /// Like [`Cache::encode_state`] but with every tag expressed relative
+    /// to byte offset `off` (which must be a multiple of
+    /// [`Cache::period_bytes`], so set indices are unaffected). Two
+    /// relative encodings at different offsets are equal exactly when one
+    /// state is the other translated by the offset difference — the
+    /// invariant behind the streaming extrapolation in `routines`.
+    pub(crate) fn encode_state_rel(&self, out: &mut Vec<u64>, off: u64) {
+        debug_assert_eq!(off % self.period_bytes(), 0, "offset must preserve sets");
+        let delta = off >> (self.line_shift + self.tag_shift);
+        let mut set: Vec<(u64, u64)> = Vec::with_capacity(self.ways);
+        for base in (0..self.lines.len()).step_by(self.ways) {
+            set.clear();
+            for l in &self.lines[base..base + self.ways] {
+                if l.valid {
+                    set.push((l.lru, (l.tag.wrapping_sub(delta) << 1) | l.dirty as u64));
+                }
+            }
+            set.sort_unstable_by_key(|&(lru, _)| std::cmp::Reverse(lru));
+            out.push(set.len() as u64);
+            out.extend(set.iter().map(|&(_, packed)| packed));
+        }
+    }
+
+    /// The address span of one full trip around the sets (`size / ways`).
+    /// Shifting every address by a multiple of this leaves set indices
+    /// unchanged and bumps every tag by the same exact amount.
+    pub(crate) fn period_bytes(&self) -> u64 {
+        1u64 << (self.line_shift + self.tag_shift)
+    }
+
+    /// Translates the whole resident state `off` bytes forward: every
+    /// valid line's tag advances as if it had been filled from an address
+    /// `off` higher. `off` must be a multiple of [`Cache::period_bytes`].
+    pub(crate) fn shift_tags(&mut self, off: u64) {
+        debug_assert_eq!(off % self.period_bytes(), 0, "offset must preserve sets");
+        let delta = off >> (self.line_shift + self.tag_shift);
+        for l in &mut self.lines {
+            if l.valid {
+                l.tag = l.tag.wrapping_add(delta);
             }
         }
     }
 
-    fn index(&self, addr: u64) -> (usize, u64) {
-        let line_addr = addr / self.cfg.line as u64;
-        let set = (line_addr as usize) & (self.sets.len() - 1);
-        let tag = line_addr >> self.sets.len().trailing_zeros();
-        (set, tag)
-    }
-
-    fn find(&mut self, set: usize, tag: u64) -> Option<usize> {
-        self.sets[set].iter().position(|l| l.valid && l.tag == tag)
-    }
-
-    fn touch(&mut self, set: usize, way: usize) {
-        self.clock += 1;
-        self.sets[set][way].lru = self.clock;
-    }
-
-    fn victim(&self, set: usize) -> usize {
+    #[inline]
+    fn fill(&mut self, base: usize, tag: u64, dirty: bool) -> bool {
         // Prefer an invalid way, then least recently used.
-        if let Some(w) = self.sets[set].iter().position(|l| !l.valid) {
-            return w;
+        let mut way = 0;
+        let mut best = u64::MAX;
+        for (w, l) in self.lines[base..base + self.ways].iter().enumerate() {
+            if !l.valid {
+                way = w;
+                break;
+            }
+            if l.lru < best {
+                best = l.lru;
+                way = w;
+            }
         }
-        self.sets[set]
-            .iter()
-            .enumerate()
-            .min_by_key(|(_, l)| l.lru)
-            .map(|(w, _)| w)
-            .expect("cache set is never empty")
-    }
-
-    /// Performs a read of the line containing `addr`. A miss allocates.
-    pub fn read(&mut self, addr: u64) -> Access {
-        let (set, tag) = self.index(addr);
-        if let Some(way) = self.find(set, tag) {
-            self.touch(set, way);
-            self.stats.read_hits += 1;
-            return Access::Hit;
-        }
-        self.stats.read_misses += 1;
-        let way = self.victim(set);
-        let evicted_dirty = self.sets[set][way].valid && self.sets[set][way].dirty;
+        let victim = &mut self.lines[base + way];
+        let evicted_dirty = victim.valid && victim.dirty;
         if evicted_dirty {
             self.stats.writebacks += 1;
         }
-        self.sets[set][way] = Line {
+        self.clock += 1;
+        *victim = Line {
             tag,
             valid: true,
-            dirty: false,
-            lru: 0,
+            dirty,
+            lru: self.clock,
         };
-        self.touch(set, way);
+        evicted_dirty
+    }
+
+    /// Performs a read of the line containing `addr`. A miss allocates.
+    #[inline]
+    pub fn read(&mut self, addr: u64) -> Access {
+        let (base, tag) = self.index(addr);
+        for l in &mut self.lines[base..base + self.ways] {
+            if l.valid && l.tag == tag {
+                self.clock += 1;
+                l.lru = self.clock;
+                self.stats.read_hits += 1;
+                return Access::Hit;
+            }
+        }
+        self.stats.read_misses += 1;
+        let evicted_dirty = self.fill(base, tag, false);
         Access::Miss { evicted_dirty }
     }
 
@@ -216,44 +291,37 @@ impl Cache {
     /// On a hit the line is marked dirty. On a miss the behaviour depends
     /// on `write_allocate`: the Pentium-style configuration returns
     /// [`Access::MissNoAllocate`] and leaves the cache untouched.
+    #[inline]
     pub fn write(&mut self, addr: u64) -> Access {
-        let (set, tag) = self.index(addr);
-        if let Some(way) = self.find(set, tag) {
-            self.touch(set, way);
-            self.sets[set][way].dirty = true;
-            self.stats.write_hits += 1;
-            return Access::Hit;
+        let (base, tag) = self.index(addr);
+        for l in &mut self.lines[base..base + self.ways] {
+            if l.valid && l.tag == tag {
+                self.clock += 1;
+                l.lru = self.clock;
+                l.dirty = true;
+                self.stats.write_hits += 1;
+                return Access::Hit;
+            }
         }
         self.stats.write_misses += 1;
         if !self.cfg.write_allocate {
             return Access::MissNoAllocate;
         }
-        let way = self.victim(set);
-        let evicted_dirty = self.sets[set][way].valid && self.sets[set][way].dirty;
-        if evicted_dirty {
-            self.stats.writebacks += 1;
-        }
-        self.sets[set][way] = Line {
-            tag,
-            valid: true,
-            dirty: true,
-            lru: 0,
-        };
-        self.touch(set, way);
+        let evicted_dirty = self.fill(base, tag, true);
         Access::Miss { evicted_dirty }
     }
 
     /// Whether the line containing `addr` is present (no LRU side effect).
     pub fn probe(&self, addr: u64) -> bool {
-        let line_addr = addr / self.cfg.line as u64;
-        let set = (line_addr as usize) & (self.sets.len() - 1);
-        let tag = line_addr >> self.sets.len().trailing_zeros();
-        self.sets[set].iter().any(|l| l.valid && l.tag == tag)
+        let (base, tag) = self.index(addr);
+        self.lines[base..base + self.ways]
+            .iter()
+            .any(|l| l.valid && l.tag == tag)
     }
 
     /// Number of valid lines currently held; never exceeds capacity.
     pub fn valid_lines(&self) -> usize {
-        self.sets.iter().flatten().filter(|l| l.valid).count()
+        self.lines.iter().filter(|l| l.valid).count()
     }
 }
 

@@ -101,6 +101,75 @@ impl MemSystem {
         self.cycles = 0;
     }
 
+    /// Appends an exact encoding of the memory system's observable state
+    /// (TLB + both cache levels, LRU order normalised) to `out`. Two
+    /// systems with equal encodings and equal timing charge identical
+    /// cycles for any identical future access sequence.
+    pub(crate) fn encode_state(&self, out: &mut Vec<u64>) {
+        self.dtlb.encode_state(out);
+        self.l1d.encode_state(out);
+        self.l2.encode_state(out);
+    }
+
+    /// Accounts for `reps` repetitions of a pass whose per-pass deltas
+    /// were already measured: cycle and counter totals advance exactly as
+    /// if the passes had run, and — because the caller has proven the
+    /// cache state to be a fixed point of the pass — the cache state is
+    /// already the state those passes would leave behind.
+    pub(crate) fn skip_steady_passes(&mut self, reps: u64, d: &PassDelta) {
+        self.cycles += reps * d.cycles;
+        self.l1d.add_stats(reps, d.l1);
+        self.l2.add_stats(reps, d.l2);
+        self.dtlb.add_stats(reps, d.tlb_hits, d.tlb_misses);
+    }
+
+    /// The address period after which the whole hierarchy's set mapping
+    /// repeats: shifting every address by a multiple of this moves each
+    /// line/translation to the same set with an exactly predictable tag.
+    /// All three periods are powers of two, so the lcm is the max.
+    pub(crate) fn stream_period_bytes(&self) -> u64 {
+        self.dtlb
+            .period_bytes()
+            .max(self.l1d.period_bytes())
+            .max(self.l2.period_bytes())
+    }
+
+    /// Appends the hierarchy's state to `out` with tags expressed
+    /// relative to stream offset `off` (a multiple of
+    /// [`MemSystem::stream_period_bytes`]).
+    pub(crate) fn encode_stream_state(&self, out: &mut Vec<u64>, off: u64) {
+        self.dtlb.encode_state_rel(out, off);
+        self.l1d.encode_state_rel(out, off);
+        self.l2.encode_state_rel(out, off);
+    }
+
+    /// Accounts for `reps` more stream segments of `seg` bytes whose
+    /// per-segment deltas were already measured, translating the resident
+    /// state forward so it is exactly the state full simulation would
+    /// have reached at the skipped-to offset.
+    pub(crate) fn skip_stream_segments(&mut self, reps: u64, d: &PassDelta, seg: u64) {
+        self.cycles += reps * d.cycles;
+        self.l1d.add_stats(reps, d.l1);
+        self.l2.add_stats(reps, d.l2);
+        self.dtlb.add_stats(reps, d.tlb_hits, d.tlb_misses);
+        let off = reps * seg;
+        self.dtlb.shift_tags(off);
+        self.l1d.shift_tags(off);
+        self.l2.shift_tags(off);
+    }
+
+    /// Snapshots the counters that [`PassDelta::since`] diffs.
+    pub(crate) fn counters(&self) -> PassDelta {
+        let (tlb_hits, tlb_misses) = self.dtlb.stats();
+        PassDelta {
+            cycles: self.cycles,
+            l1: self.l1d.stats(),
+            l2: self.l2.stats(),
+            tlb_hits,
+            tlb_misses,
+        }
+    }
+
     /// Invalidates both cache levels and the TLB (cold start).
     pub fn flush(&mut self) {
         self.dtlb.flush();
@@ -215,6 +284,37 @@ impl MemSystem {
     pub fn prefetch_line(&mut self, addr: u64) {
         self.cycles += 1;
         self.read_word(addr);
+    }
+}
+
+/// Per-pass counter totals (or deltas between two snapshots), used by the
+/// steady-state extrapolation in `measure`.
+#[derive(Clone, Copy, Debug, Default)]
+pub(crate) struct PassDelta {
+    pub(crate) cycles: u64,
+    pub(crate) l1: crate::cache::CacheStats,
+    pub(crate) l2: crate::cache::CacheStats,
+    pub(crate) tlb_hits: u64,
+    pub(crate) tlb_misses: u64,
+}
+
+impl PassDelta {
+    /// The change in every counter since `before`.
+    pub(crate) fn since(&self, before: &PassDelta) -> PassDelta {
+        let d = |a: crate::cache::CacheStats, b: crate::cache::CacheStats| crate::cache::CacheStats {
+            read_hits: a.read_hits - b.read_hits,
+            read_misses: a.read_misses - b.read_misses,
+            write_hits: a.write_hits - b.write_hits,
+            write_misses: a.write_misses - b.write_misses,
+            writebacks: a.writebacks - b.writebacks,
+        };
+        PassDelta {
+            cycles: self.cycles - before.cycles,
+            l1: d(self.l1, before.l1),
+            l2: d(self.l2, before.l2),
+            tlb_hits: self.tlb_hits - before.tlb_hits,
+            tlb_misses: self.tlb_misses - before.tlb_misses,
+        }
     }
 }
 

@@ -115,46 +115,95 @@ pub fn run_pass(mem: &mut MemSystem, routine: MemRoutine, src: u64, dst: u64, le
     }
 }
 
-fn custom_read(mem: &mut MemSystem, base: u64, len: u64) {
-    let main = len - len % CHUNK;
-    let mut off = 0;
+/// Runs `body(mem, off)` for every `off` in `0, CHUNK, .. < main`,
+/// detecting when the streaming access pattern has become periodic and
+/// accounting the remaining whole periods by multiplication.
+///
+/// While a routine streams a buffer far larger than the hierarchy, the
+/// cache/TLB state is *shift-periodic*: after one full period (the lcm of
+/// the set-mapping periods, a power of two for every level), the state is
+/// the previous state with every resident tag advanced by one period.
+/// The loop body is a pure function of `off` with uniform per-chunk
+/// structure, so once the offset-relative state at a period boundary
+/// matches the previous boundary, every further period must repeat the
+/// same hits, misses and cycles. The skipped periods are accounted by
+/// multiplying the measured per-period delta and advancing resident tags
+/// with `shift_tags` — an exact shortcut, bit-identical to simulating
+/// every chunk (same guarantee as the pass-level shortcut in `measure`).
+fn stream_main(mem: &mut MemSystem, main: u64, mut body: impl FnMut(&mut MemSystem, u64)) {
+    let seg = mem.stream_period_bytes();
+    let mut off = 0u64;
+    // Only engage once there is room for a warm-up segment, a measured
+    // segment, and at least one segment to skip.
+    if main >= 3 * seg {
+        let mut sig_prev: Vec<u64> = Vec::new();
+        let mut sig_cur: Vec<u64> = Vec::new();
+        while off < seg {
+            body(mem, off);
+            off += CHUNK;
+        }
+        mem.encode_stream_state(&mut sig_prev, off);
+        while main - off >= seg {
+            let before = mem.counters();
+            let end = off + seg;
+            while off < end {
+                body(mem, off);
+                off += CHUNK;
+            }
+            sig_cur.clear();
+            mem.encode_stream_state(&mut sig_cur, off);
+            if sig_cur == sig_prev {
+                let reps = (main - off) / seg;
+                if reps > 0 {
+                    let delta = mem.counters().since(&before);
+                    mem.skip_stream_segments(reps, &delta, seg);
+                    off += reps * seg;
+                }
+                break;
+            }
+            std::mem::swap(&mut sig_prev, &mut sig_cur);
+        }
+    }
     while off < main {
-        mem.charge(READ_ITER_CY);
-        mem.read_words(base + off, 4);
+        body(mem, off);
         off += CHUNK;
     }
+}
+
+fn custom_read(mem: &mut MemSystem, base: u64, len: u64) {
+    let main = len - len % CHUNK;
+    stream_main(mem, main, |mem, off| {
+        mem.charge(READ_ITER_CY);
+        mem.read_words(base + off, 4);
+    });
     remainder_read(mem, base + main, len - main);
 }
 
 fn custom_write(mem: &mut MemSystem, base: u64, len: u64, prefetch: bool) {
     let line = 32;
     let main = len - len % CHUNK;
-    let mut off = 0;
-    while off < main {
+    stream_main(mem, main, |mem, off| {
         mem.charge(WRITE_ITER_CY);
         let addr = base + off;
         if prefetch && addr.is_multiple_of(line) {
             mem.prefetch_line(addr);
         }
         mem.write_words(addr, 4);
-        off += CHUNK;
-    }
+    });
     remainder_write(mem, base + main, len - main);
 }
 
 fn custom_copy(mem: &mut MemSystem, src: u64, dst: u64, len: u64, prefetch: bool) {
     let line = 32;
     let main = len - len % CHUNK;
-    let mut off = 0;
-    while off < main {
+    stream_main(mem, main, |mem, off| {
         mem.charge(COPY_ITER_CY);
         if prefetch && (dst + off).is_multiple_of(line) {
             mem.prefetch_line(dst + off);
         }
         mem.read_words(src + off, 4);
         mem.write_words(dst + off, 4);
-        off += CHUNK;
-    }
+    });
     // Remainder: read a byte, write a byte.
     let rem_base = main;
     for b in 0..(len - main) {
@@ -169,12 +218,10 @@ fn libc_memset(mem: &mut MemSystem, base: u64, len: u64, variant: LibcVariant) {
     // `rep stosl`-style fill: slightly tighter than the custom loop, and
     // the tail is handled at word speed (no slow byte loop).
     let main = len - len % CHUNK;
-    let mut off = 0;
-    while off < main {
+    stream_main(mem, main, |mem, off| {
         mem.charge(4);
         mem.write_words(base + off, 4);
-        off += CHUNK;
-    }
+    });
     let rem = len - main;
     if rem > 0 {
         mem.charge(rem);
@@ -185,13 +232,11 @@ fn libc_memset(mem: &mut MemSystem, base: u64, len: u64, variant: LibcVariant) {
 fn libc_memcpy(mem: &mut MemSystem, src: u64, dst: u64, len: u64, variant: LibcVariant) {
     mem.charge(variant.call_overhead_cy());
     let main = len - len % CHUNK;
-    let mut off = 0;
-    while off < main {
+    stream_main(mem, main, |mem, off| {
         mem.charge(COPY_ITER_CY);
         mem.read_words(src + off, 4);
         mem.write_words(dst + off, 4);
-        off += CHUNK;
-    }
+    });
     let rem = len - main;
     if rem > 0 {
         mem.charge(2 * rem);
@@ -246,8 +291,33 @@ pub fn measure(mem: &mut MemSystem, routine: MemRoutine, buf: u64, total: u64) -
     let (l1_before, l2_before) = (mem.l1d().stats(), mem.l2().stats());
     let passes = total.div_ceil(buf).max(1);
     let (src, dst) = buffer_layout(buf);
-    for _ in 0..passes {
+    // Every pass runs the same access sequence, so the cache/TLB state
+    // converges to a fixed point after a pass or two. Once the state at
+    // the end of a pass exactly matches the state at the end of the
+    // previous pass (LRU order normalised), every further pass must
+    // repeat the same hits, misses and cycles — so the remaining passes
+    // are accounted for by multiplication instead of simulation. This is
+    // an exact shortcut, not an approximation: totals and final cache
+    // state are bit-identical to running every pass.
+    let mut sig_prev: Vec<u64> = Vec::new();
+    let mut sig_cur: Vec<u64> = Vec::new();
+    mem.encode_state(&mut sig_prev);
+    let mut done = 0u64;
+    while done < passes {
+        let before = mem.counters();
         run_pass(mem, routine, src, dst, buf);
+        done += 1;
+        if done == passes {
+            break;
+        }
+        sig_cur.clear();
+        mem.encode_state(&mut sig_cur);
+        if sig_cur == sig_prev {
+            let delta = mem.counters().since(&before);
+            mem.skip_steady_passes(passes - done, &delta);
+            break;
+        }
+        std::mem::swap(&mut sig_prev, &mut sig_cur);
     }
     let bytes = passes * buf;
     let cycles = mem.cycles();

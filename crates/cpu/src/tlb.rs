@@ -54,6 +54,35 @@ impl Tlb {
         (self.hits, self.misses)
     }
 
+    /// Bumps the counters as if `reps` more passes with per-pass deltas
+    /// `(hits, misses)` had run (steady-state extrapolation).
+    pub(crate) fn add_stats(&mut self, reps: u64, hits: u64, misses: u64) {
+        self.hits += reps * hits;
+        self.misses += reps * misses;
+    }
+
+    /// Appends the TLB's observable state to `out` (see
+    /// [`Cache::encode_state`]).
+    pub(crate) fn encode_state(&self, out: &mut Vec<u64>) {
+        self.entries.encode_state(out);
+    }
+
+    /// Offset-relative state encoding (see [`Cache::encode_state_rel`]).
+    pub(crate) fn encode_state_rel(&self, out: &mut Vec<u64>, off: u64) {
+        self.entries.encode_state_rel(out, off);
+    }
+
+    /// The set-preserving address period (see [`Cache::period_bytes`]).
+    pub(crate) fn period_bytes(&self) -> u64 {
+        self.entries.period_bytes()
+    }
+
+    /// Translates the resident translations `off` bytes forward (see
+    /// [`Cache::shift_tags`]).
+    pub(crate) fn shift_tags(&mut self, off: u64) {
+        self.entries.shift_tags(off);
+    }
+
     /// Drops every translation (a context switch on the P54C flushes the
     /// TLB unless global pages are used — 1995 kernels rarely did).
     pub fn flush(&mut self) {

@@ -98,11 +98,20 @@ impl LatHist {
 
     /// The `q`-quantile (`0.0 ..= 1.0`) as the upper bound of the bucket
     /// holding the rank-`ceil(q * count)` sample — at most 12.5% above
-    /// the true order statistic, never below it. Returns 0 when empty.
+    /// the true order statistic, never below it.
+    ///
+    /// Every input has a defined result: an empty histogram reports 0
+    /// for all quantiles; when the count is below `1/(1-q)` (e.g. p999
+    /// of fewer than 1000 samples) the rank clamps to the last sample,
+    /// so the result is the maximum recorded bucket — never an
+    /// interpolation from data that is not there. Out-of-range or
+    /// non-finite `q` clamps to the nearest defined quantile (NaN
+    /// reports the maximum, the conservative end for a latency gate).
     pub fn quantile(&self, q: f64) -> u64 {
         if self.total == 0 {
             return 0;
         }
+        let q = if q.is_nan() { 1.0 } else { q.clamp(0.0, 1.0) };
         let rank = ((q * self.total as f64).ceil() as u64).clamp(1, self.total);
         let mut seen = 0u64;
         for (idx, &c) in self.counts.iter().enumerate() {
@@ -233,6 +242,35 @@ mod tests {
         assert_eq!(h.count(), 0);
         assert_eq!(h.p50(), 0);
         assert_eq!(h.p999(), 0);
+    }
+
+    #[test]
+    fn p999_with_fewer_than_1000_samples_is_the_maximum() {
+        // Regression: a tail quantile finer than the sample count must
+        // clamp to the last sample, not invent a value past it.
+        for n in [1u64, 2, 10, 999] {
+            let mut h = LatHist::new();
+            for v in 1..=n {
+                h.record(v * 100);
+            }
+            let max_bucket = upper_of(bucket_of(n * 100));
+            assert_eq!(h.p999(), max_bucket, "n={n}");
+            assert!(h.p999() >= n * 100, "never understates the max, n={n}");
+        }
+    }
+
+    #[test]
+    fn out_of_range_q_is_defined() {
+        let mut h = LatHist::new();
+        h.record(5);
+        h.record(500);
+        let max_bucket = upper_of(bucket_of(500));
+        assert_eq!(h.quantile(1.5), max_bucket, "q>1 clamps to the max");
+        assert_eq!(h.quantile(-0.3), 5, "q<0 clamps to the min");
+        assert_eq!(h.quantile(f64::NAN), max_bucket, "NaN is the max");
+        assert_eq!(h.quantile(f64::INFINITY), max_bucket);
+        assert_eq!(h.quantile(f64::NEG_INFINITY), 5);
+        assert_eq!(LatHist::new().quantile(f64::NAN), 0, "empty stays 0");
     }
 
     #[test]

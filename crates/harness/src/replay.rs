@@ -258,17 +258,35 @@ pub fn replay_trace(trace: &Trace, os: Os, seed: u64, opts: ReplayOptions) -> Re
     }
 }
 
+/// Arms the ambient capture flag and guarantees it is disarmed again on
+/// every exit path — panic included — so a crashing sample can never
+/// leave the sink armed for the next pool job.
+struct AmbientCapture;
+
+impl AmbientCapture {
+    fn arm() -> AmbientCapture {
+        // Drop captures a previous (possibly panicked) caller left behind.
+        let _ = tnt_sim::replay::drain();
+        tnt_sim::replay::set_ambient(true);
+        AmbientCapture
+    }
+}
+
+impl Drop for AmbientCapture {
+    fn drop(&mut self) {
+        tnt_sim::replay::set_ambient(false);
+    }
+}
+
 /// Runs experiment `id` with ambient capture armed and returns every
 /// trace the runs published — one per booted machine that saw disk or
 /// namespace activity. This is `reproduce --record <id>`.
 pub fn capture_experiment(id: &str, scale: &Scale) -> Vec<Trace> {
-    // Drop captures a previous (possibly panicked) caller left behind.
-    let _ = tnt_sim::replay::drain();
-    tnt_sim::replay::set_ambient(true);
+    let armed = AmbientCapture::arm();
     let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
         crate::experiments::run_one(id, scale)
     }));
-    tnt_sim::replay::set_ambient(false);
+    drop(armed);
     let traces = tnt_sim::replay::drain();
     match out {
         Ok(_) => traces,
@@ -697,6 +715,28 @@ mod tests {
         assert_eq!(a.streams, 2, "two recorded pids, two timed streams");
         assert!(a.elapsed_cy >= a.recorded_span_cy, "open-loop replay");
         assert_eq!(a.file_events, 5);
+    }
+
+    #[test]
+    fn panicking_capture_disarms_the_ambient_sink() {
+        // Poison: an unknown id makes the captured experiment panic
+        // inside the capture's own catch_unwind.
+        let poisoned = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            capture_experiment("no-such-experiment", &Scale::smoke())
+        }));
+        assert!(poisoned.is_err(), "unknown id must panic through");
+        assert!(
+            !tnt_sim::replay::ambient(),
+            "a panicking capture must disarm the ambient sink"
+        );
+        // Recover: a fresh unrelated run right after must not be captured.
+        let (sim, kernel) = boot(Os::Linux, 0);
+        kernel.spawn_user("innocent", |p| p.compute(Cycles(1_000)));
+        sim.run().expect("post-panic run");
+        assert!(
+            tnt_sim::replay::drain().is_empty(),
+            "no capture may leak into the next pool job"
+        );
     }
 
     #[test]

@@ -18,11 +18,10 @@
 //! never hold a guard across a call that can block.
 
 use std::cell::Cell;
-use std::cmp::Reverse;
 // BTreeMap (not a hashed map) everywhere: engine state leaks into
 // outputs — the deadlock diagnostic iterates `procs` — and iteration
 // order must not depend on the hasher.
-use std::collections::{BTreeMap, BinaryHeap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 use std::panic::{self, AssertUnwindSafe};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -35,6 +34,7 @@ use tnt_trace::{Class, Counter, Event, EventKind, Tracer};
 
 use crate::policy::{DispatchEnv, Pick, RunPolicy, Tid};
 use crate::time::Cycles;
+use crate::wheel::TimerWheel;
 
 #[cfg(feature = "audit")]
 use tnt_race::{AccessInfo, AccessKind, Detector, Loc, SyncId, WakeSrc};
@@ -167,36 +167,118 @@ enum Wake {
 struct SimKilled;
 
 struct Parker {
-    slot: Mutex<Option<Wake>>,
+    /// EMPTY / PARKED / RUN / KILL. The wake travels through this atomic;
+    /// the mutex+condvar pair is only the sleeping slow path, so a wake
+    /// that is already (or about to be) delivered costs no syscalls and
+    /// `unpark` only notifies when the parker has announced it is asleep.
+    flag: std::sync::atomic::AtomicU32,
+    lock: Mutex<()>,
     cv: Condvar,
 }
 
 impl Parker {
+    const EMPTY: u32 = 0;
+    /// The parker holds (or is acquiring) `lock` and will sleep on `cv`.
+    const PARKED: u32 = 1;
+    const RUN: u32 = 2;
+    const KILL: u32 = 3;
+
     fn new() -> Arc<Parker> {
         Arc::new(Parker {
-            slot: Mutex::new(None),
+            flag: std::sync::atomic::AtomicU32::new(Self::EMPTY),
+            lock: Mutex::new(()),
             cv: Condvar::new(),
         })
     }
 
+    /// Takes a delivered wake without touching the lock, if one is there.
+    /// Only the parking thread calls this, so the flag cannot be PARKED.
+    fn try_consume(&self) -> Option<Wake> {
+        use std::sync::atomic::Ordering;
+        match self.flag.swap(Self::EMPTY, Ordering::Acquire) {
+            Self::RUN => Some(Wake::Run),
+            Self::KILL => Some(Wake::Kill),
+            _ => None,
+        }
+    }
+
     fn park(&self) -> Wake {
-        let mut slot = self.slot.lock();
-        loop {
-            if let Some(w) = slot.take() {
+        use std::sync::atomic::Ordering;
+        if let Some(w) = self.try_consume() {
+            return w;
+        }
+        // Brief spin: on a multi-core host the matching unpark is often
+        // already in flight, and a handful of pause instructions is far
+        // cheaper than a futex round trip. On a single CPU the unparker
+        // cannot be running concurrently, so spinning only delays the
+        // kernel from scheduling it — skip straight to the sleep.
+        static SPIN: std::sync::LazyLock<u32> = std::sync::LazyLock::new(|| {
+            if std::thread::available_parallelism().map_or(1, |n| n.get()) > 1 {
+                64
+            } else {
+                0
+            }
+        });
+        for _ in 0..*SPIN {
+            std::hint::spin_loop();
+            if let Some(w) = self.try_consume() {
                 return w;
             }
-            self.cv.wait(&mut slot);
+        }
+        let mut guard = self.lock.lock();
+        // Announce the sleep; if a wake raced in instead, the loop below
+        // consumes it without waiting.
+        let _ = self.flag.compare_exchange(
+            Self::EMPTY,
+            Self::PARKED,
+            Ordering::AcqRel,
+            Ordering::Acquire,
+        );
+        loop {
+            match self.flag.load(Ordering::Acquire) {
+                Self::RUN => {
+                    self.flag.store(Self::EMPTY, Ordering::Relaxed);
+                    return Wake::Run;
+                }
+                Self::KILL => {
+                    self.flag.store(Self::EMPTY, Ordering::Relaxed);
+                    return Wake::Kill;
+                }
+                _ => self.cv.wait(&mut guard),
+            }
         }
     }
 
     fn unpark(&self, wake: Wake) {
-        let mut slot = self.slot.lock();
-        // A Kill must not be overwritten by a late Run, and vice versa a
-        // Kill overrides a pending Run.
-        if *slot != Some(Wake::Kill) {
-            *slot = Some(wake);
+        use std::sync::atomic::Ordering;
+        let target = if wake == Wake::Kill {
+            Self::KILL
+        } else {
+            Self::RUN
+        };
+        let mut cur = self.flag.load(Ordering::Relaxed);
+        let was_parked = loop {
+            // A Kill must not be overwritten by a late Run, and vice
+            // versa a Kill overrides a pending Run. In both no-op cases
+            // the earlier unpark already did any notification needed.
+            if cur == Self::KILL || (cur == Self::RUN && wake == Wake::Run) {
+                break false;
+            }
+            match self
+                .flag
+                .compare_exchange_weak(cur, target, Ordering::AcqRel, Ordering::Relaxed)
+            {
+                Ok(prev) => break prev == Self::PARKED,
+                Err(now) => cur = now,
+            }
+        };
+        if was_parked {
+            // The parker is in (or entering) `cv.wait`: taking the lock
+            // orders this notify after its flag check, so the wake cannot
+            // fall between the check and the wait.
+            drop(self.lock.lock());
+            self.cv.notify_one();
         }
-        self.cv.notify_one();
     }
 }
 
@@ -229,8 +311,9 @@ struct Proc {
     woken_by: Option<u64>,
 }
 
-#[derive(PartialEq, Eq, PartialOrd, Ord)]
 /// What a timer does when it fires (all are wakeups of some kind).
+/// Ordering among pending timers is entirely the wheel's `(at, seq)`
+/// key; the action itself is never compared.
 enum TimerAction {
     Proc(Tid),
     /// Wake `tid` only if it is still in block generation `gen` (a timed
@@ -256,7 +339,7 @@ struct LiteSched {
 struct State {
     now: Cycles,
     timer_seq: u64,
-    timers: BinaryHeap<Reverse<(Cycles, u64, TimerAction)>>,
+    timers: TimerWheel<TimerAction>,
     procs: BTreeMap<Tid, Proc>,
     policy: Box<dyn RunPolicy>,
     current: Option<Tid>,
@@ -265,7 +348,6 @@ struct State {
     /// Registered lite schedulers, keyed by their engine tid.
     lite: BTreeMap<Tid, LiteSched>,
     rng: StdRng,
-    run_factor: f64,
     next_tid: u32,
     next_wait: u64,
     dispatches: u64,
@@ -346,6 +428,13 @@ impl AuditState {
 
 struct Inner {
     state: Mutex<State>,
+    /// Immutable copy of the run's jitter factor (fixed at `Sim::new`),
+    /// so the charge fast path can scale without taking the state lock.
+    run_factor: f64,
+    /// Set once a planted-bug mutant is armed: batching would fold the
+    /// per-charge behaviour the mutant tests pin down (unit tests only).
+    #[cfg(test)]
+    mutants_armed: std::sync::atomic::AtomicBool,
     done: Condvar,
     threads: Mutex<Vec<JoinHandle<()>>>,
     /// Trace sink. Disabled by default (one relaxed load per emit site);
@@ -362,6 +451,13 @@ struct Inner {
 
 thread_local! {
     static CURRENT: Cell<Option<Tid>> = const { Cell::new(None) };
+    /// Cycles charged on this thread but not yet applied to the engine
+    /// clock, tagged with the owning engine's `Inner` address (a thread
+    /// only ever holds one simulation's baton, but the tag keeps a
+    /// stale cell from ever leaking across engines). Flushed on every
+    /// state-lock acquisition, so no engine state is observable while a
+    /// balance is outstanding.
+    static PENDING_CHARGE: Cell<(usize, u64)> = const { Cell::new((0, 0)) };
     /// Virtual pid of the lite process being polled on this thread, if
     /// any: trace events stamp it instead of the scheduler's tid.
     static LITE_PID: Cell<Option<u32>> = const { Cell::new(None) };
@@ -431,7 +527,7 @@ impl Sim {
         let state = State {
             now: Cycles::ZERO,
             timer_seq: 0,
-            timers: BinaryHeap::new(),
+            timers: TimerWheel::new(),
             procs: BTreeMap::new(),
             policy,
             current: None,
@@ -439,7 +535,6 @@ impl Sim {
             queues: BTreeMap::new(),
             lite: BTreeMap::new(),
             rng,
-            run_factor,
             next_tid: 1,
             next_wait: 1,
             dispatches: 0,
@@ -456,6 +551,9 @@ impl Sim {
         let sim = Sim {
             inner: Arc::new(Inner {
                 state: Mutex::new(state),
+                run_factor,
+                #[cfg(test)]
+                mutants_armed: std::sync::atomic::AtomicBool::new(false),
                 done: Condvar::new(),
                 threads: Mutex::new(Vec::new()),
                 tracer: Tracer::new(),
@@ -554,7 +652,7 @@ impl Sim {
     /// lite process being polled overrides the scheduler's own tid, so
     /// attribution is per lite process, not per scheduler slot.
     fn stamp(&self) -> (u64, u32) {
-        let now = self.inner.state.lock().now.0;
+        let now = self.lock_state().now.0;
         let pid = LITE_PID
             .with(|c| c.get())
             .or_else(|| CURRENT.with(|c| c.get()).map(|t| t.0))
@@ -581,7 +679,7 @@ impl Sim {
         let name = name.into();
         let parker = Parker::new();
         let tid = {
-            let mut st = self.inner.state.lock();
+            let mut st = self.lock_state();
             assert!(!st.finished, "spawn after simulation finished");
             let tid = Tid(st.next_tid);
             st.next_tid += 1;
@@ -650,7 +748,7 @@ impl Sim {
             "Sim::run called from a simulated process"
         );
         let (final_now, error) = {
-            let mut st = self.inner.state.lock();
+            let mut st = self.lock_state();
             if !st.finished {
                 if st.current.is_none() {
                     self.dispatch_locked(&mut st);
@@ -700,7 +798,7 @@ impl Sim {
     pub fn stop(&self) -> ! {
         let tid = current_tid();
         {
-            let mut st = self.inner.state.lock();
+            let mut st = self.lock_state();
             let proc = st.procs.get_mut(&tid).expect("current proc missing");
             proc.status = Status::Exited;
             st.live -= 1;
@@ -714,18 +812,18 @@ impl Sim {
     /// Current simulated time.
     #[must_use]
     pub fn now(&self) -> Cycles {
-        self.inner.state.lock().now
+        self.lock_state().now
     }
 
     /// Number of live (not exited) simulated processes.
     pub fn live(&self) -> usize {
-        self.inner.state.lock().live
+        self.lock_state().live
     }
 
     /// Advances simulated time by exactly `c` cycles of CPU work, firing
     /// any timers that come due along the way. Does not yield the baton.
     pub fn advance(&self, c: Cycles) {
-        let mut st = self.inner.state.lock();
+        let mut st = self.lock_state();
         self.advance_locked(&mut st, c);
     }
 
@@ -742,16 +840,65 @@ impl Sim {
     #[must_use]
     pub(crate) fn charge_scaled(&self, c: Cycles) -> Cycles {
         // The hottest call in the engine — every modelled cost goes
-        // through it — so the jitter scale and the clock advance share
-        // one lock acquisition instead of the two this used to take.
-        let mut st = self.inner.state.lock();
-        let scaled = if st.run_factor == 1.0 {
+        // through it. When nothing can observe individual charges (no
+        // tracer, no recorder, no planted mutants) the scaled amount
+        // just accumulates in a thread-local; the next state-lock
+        // acquisition applies the whole batch in one `advance_locked`.
+        // Scaling happens per charge (each amount rounds exactly as an
+        // immediate charge would), so the batch conserves cycles
+        // bit-for-bit and the returned value is byte-identical.
+        let scaled = if self.inner.run_factor == 1.0 {
             c
         } else {
-            c.scale(st.run_factor)
+            c.scale(self.inner.run_factor)
         };
-        self.advance_locked(&mut st, scaled);
+        if self.can_batch() {
+            let key = Arc::as_ptr(&self.inner) as usize;
+            let (tag, pending) = PENDING_CHARGE.get();
+            debug_assert!(
+                pending == 0 || tag == key,
+                "pending charge balance crossed simulations"
+            );
+            PENDING_CHARGE.set((key, pending + scaled.0));
+        } else {
+            let mut st = self.lock_state();
+            self.advance_locked(&mut st, scaled);
+        }
         scaled
+    }
+
+    /// May this call defer its charge to the next engine call? Only the
+    /// baton holder (a simulated process's thread) batches: charges are
+    /// invisible until the charging thread itself re-enters the engine,
+    /// and every engine entry point flushes. Tracing and recording want
+    /// one event per charge, and the planted-bug mutants pin per-charge
+    /// behaviour, so any of them forces the immediate path.
+    #[inline]
+    fn can_batch(&self) -> bool {
+        #[cfg(test)]
+        if self
+            .inner
+            .mutants_armed
+            .load(std::sync::atomic::Ordering::Relaxed)
+        {
+            return false;
+        }
+        CURRENT.with(|c| c.get()).is_some()
+            && !self.inner.tracer.is_enabled()
+            && !self.inner.recorder.is_enabled()
+    }
+
+    /// Acquires the engine state lock, first settling this thread's
+    /// pending charge balance so the caller observes a fully advanced
+    /// clock. Every lock acquisition in the engine goes through here.
+    fn lock_state(&self) -> parking_lot::MutexGuard<'_, State> {
+        let mut st = self.inner.state.lock();
+        let (tag, pending) = PENDING_CHARGE.get();
+        if pending != 0 && tag == Arc::as_ptr(&self.inner) as usize {
+            PENDING_CHARGE.set((0, 0));
+            self.advance_locked(&mut st, Cycles(pending));
+        }
+        st
     }
 
     /// The body of [`Sim::advance`], for callers already holding the
@@ -785,17 +932,12 @@ impl Sim {
             }
         }
         let target = st.now + c;
-        loop {
-            let due = matches!(st.timers.peek(), Some(Reverse((at, _, _))) if *at <= target);
-            if !due {
-                break;
-            }
-            let Reverse((at, seq, action)) = st.timers.pop().expect("peeked timer vanished");
+        while let Some((at, seq, action)) = st.timers.pop_due(target) {
             if at > st.now {
                 st.now = at;
             }
             // Planted bug: fire an equal-instant pair in reverse arming
-            // order, breaking the heap's (at, seq) FIFO tie-break.
+            // order, breaking the wheel's (at, seq) FIFO tie-break.
             if let Some((seq2, action2)) = self.mutant_steal_tie(st, at) {
                 self.fire_locked(st, seq2, action2);
             }
@@ -818,14 +960,14 @@ impl Sim {
 
     /// Draws from the simulation's deterministic RNG.
     pub fn with_rng<T>(&self, f: impl FnOnce(&mut StdRng) -> T) -> T {
-        f(&mut self.inner.state.lock().rng)
+        f(&mut self.lock_state().rng)
     }
 
     /// Yields the baton: the caller re-enters the run queue and another
     /// runnable process (possibly the caller again) is dispatched.
     pub fn yield_now(&self) {
         let tid = current_tid();
-        let mut st = self.inner.state.lock();
+        let mut st = self.lock_state();
         let tag = st.procs[&tid].tag;
         st.procs.get_mut(&tid).expect("current proc missing").status = Status::Runnable;
         st.policy.enqueue(tid, tag);
@@ -837,13 +979,13 @@ impl Sim {
     /// Blocks the caller until the given simulated instant.
     pub fn sleep_until(&self, at: Cycles) {
         let tid = current_tid();
-        let mut st = self.inner.state.lock();
+        let mut st = self.lock_state();
         if at <= st.now {
             return;
         }
         let seq = st.timer_seq;
         st.timer_seq += 1;
-        st.timers.push(Reverse((at, seq, TimerAction::Proc(tid))));
+        st.timers.insert(at, seq, TimerAction::Proc(tid));
         st.procs.get_mut(&tid).expect("current proc missing").status = Status::Blocked("sleep");
         #[cfg(feature = "audit")]
         {
@@ -859,13 +1001,13 @@ impl Sim {
     /// [`Sim::advance`] this does not consume CPU: it models waiting for a
     /// device, not computing.
     pub fn sleep(&self, dur: Cycles) {
-        let deadline = self.inner.state.lock().now + dur;
+        let deadline = self.lock_state().now + dur;
         self.sleep_until(deadline);
     }
 
     /// Allocates a new wait queue.
     pub fn new_queue(&self) -> WaitId {
-        let mut st = self.inner.state.lock();
+        let mut st = self.lock_state();
         let id = st.next_wait;
         st.next_wait += 1;
         st.queues.insert(id, VecDeque::new());
@@ -879,7 +1021,7 @@ impl Sim {
     /// cannot occur: check your condition, then call `wait_on`.
     pub fn wait_on(&self, q: WaitId, reason: &'static str) {
         let tid = current_tid();
-        let mut st = self.inner.state.lock();
+        let mut st = self.lock_state();
         st.queues
             .get_mut(&q.0)
             .expect("wait queue does not exist")
@@ -895,7 +1037,7 @@ impl Sim {
     /// timeout (in which case the caller is no longer on the queue).
     pub fn wait_on_timeout(&self, q: WaitId, timeout: Cycles, reason: &'static str) -> bool {
         let tid = current_tid();
-        let mut st = self.inner.state.lock();
+        let mut st = self.lock_state();
         st.queues
             .get_mut(&q.0)
             .expect("wait queue does not exist")
@@ -907,8 +1049,7 @@ impl Sim {
         let at = st.now + timeout;
         let seq = st.timer_seq;
         st.timer_seq += 1;
-        st.timers
-            .push(Reverse((at, seq, TimerAction::ProcGen(tid, gen, q.0))));
+        st.timers.insert(at, seq, TimerAction::ProcGen(tid, gen, q.0));
         #[cfg(feature = "audit")]
         {
             self.race_protected(&mut st, Loc::WaitQueue(q.0), AccessKind::Write, "wait.enqueue");
@@ -920,7 +1061,7 @@ impl Sim {
         self.block_current(st, tid);
         // Back awake: the timer handler flags timeouts (and has already
         // removed us from the queue); a real wakeup popped us normally.
-        let mut st = self.inner.state.lock();
+        let mut st = self.lock_state();
         let proc = st.procs.get_mut(&tid).expect("current proc missing");
         let timed_out = std::mem::take(&mut proc.timed_out);
         !timed_out
@@ -938,7 +1079,7 @@ impl Sim {
     ) -> Option<usize> {
         assert!(!qs.is_empty(), "wait_on_any needs at least one queue");
         let tid = current_tid();
-        let mut st = self.inner.state.lock();
+        let mut st = self.lock_state();
         for q in qs {
             st.queues
                 .get_mut(&q.0)
@@ -954,8 +1095,7 @@ impl Sim {
             st.timer_seq += 1;
             // The timer removes us from the *first* queue; the lazy skip
             // handles the rest.
-            st.timers
-                .push(Reverse((at, seq, TimerAction::ProcGen(tid, gen, qs[0].0))));
+            st.timers.insert(at, seq, TimerAction::ProcGen(tid, gen, qs[0].0));
             #[cfg(feature = "audit")]
             {
                 self.race_protected(&mut st, Loc::TimerHeap, AccessKind::Write, "select.arm");
@@ -971,7 +1111,7 @@ impl Sim {
         self.block_current(st, tid);
         // The waker (or the timeout handler) recorded how we were woken;
         // clean our leftover entries off every queue.
-        let mut st = self.inner.state.lock();
+        let mut st = self.lock_state();
         let (timed_out, woken_q) = {
             let proc = st.procs.get_mut(&tid).expect("current proc missing");
             (
@@ -996,7 +1136,7 @@ impl Sim {
     /// Wakes the longest-waiting process on the queue, if any. Returns
     /// whether a process was woken. Does not yield the baton.
     pub fn wakeup_one(&self, q: WaitId) -> bool {
-        let mut st = self.inner.state.lock();
+        let mut st = self.lock_state();
         let woke = self.wake_from_queue_locked(&mut st, q.0, WakeCause::Signal);
         #[cfg(feature = "audit")]
         if !woke {
@@ -1008,7 +1148,7 @@ impl Sim {
 
     /// Wakes every process on the queue. Returns how many were woken.
     pub fn wakeup_all(&self, q: WaitId) -> usize {
-        let mut st = self.inner.state.lock();
+        let mut st = self.lock_state();
         let mut n = 0;
         while self.wake_from_queue_locked(&mut st, q.0, WakeCause::Signal) {
             n += 1;
@@ -1023,11 +1163,10 @@ impl Sim {
 
     /// Schedules a wakeup of one waiter on `q` at simulated time `at`.
     pub fn wakeup_one_at(&self, q: WaitId, at: Cycles) {
-        let mut st = self.inner.state.lock();
+        let mut st = self.lock_state();
         let seq = st.timer_seq;
         st.timer_seq += 1;
-        st.timers
-            .push(Reverse((at, seq, TimerAction::QueueOne(q.0))));
+        st.timers.insert(at, seq, TimerAction::QueueOne(q.0));
         #[cfg(feature = "audit")]
         {
             self.race_protected(&mut st, Loc::TimerHeap, AccessKind::Write, "wakeup-at.arm");
@@ -1039,11 +1178,10 @@ impl Sim {
 
     /// Schedules a wakeup of every waiter on `q` at simulated time `at`.
     pub fn wakeup_all_at(&self, q: WaitId, at: Cycles) {
-        let mut st = self.inner.state.lock();
+        let mut st = self.lock_state();
         let seq = st.timer_seq;
         st.timer_seq += 1;
-        st.timers
-            .push(Reverse((at, seq, TimerAction::QueueAll(q.0))));
+        st.timers.insert(at, seq, TimerAction::QueueAll(q.0));
         #[cfg(feature = "audit")]
         {
             self.race_protected(&mut st, Loc::TimerHeap, AccessKind::Write, "wakeup-all-at.arm");
@@ -1055,9 +1193,7 @@ impl Sim {
 
     /// Number of processes currently blocked on the queue.
     pub fn waiters(&self, q: WaitId) -> usize {
-        self.inner
-            .state
-            .lock()
+        self.lock_state()
             .queues
             .get(&q.0)
             .map_or(0, |d| d.len())
@@ -1076,9 +1212,7 @@ impl Sim {
     /// Returns zero for unknown tids.
     #[must_use]
     pub fn proc_cpu(&self, tid: Tid) -> Cycles {
-        self.inner
-            .state
-            .lock()
+        self.lock_state()
             .procs
             .get(&tid)
             .map_or(Cycles::ZERO, |p| p.cpu)
@@ -1087,7 +1221,7 @@ impl Sim {
     /// Number of dispatches (context switches) the engine has performed —
     /// the event counting the paper's Section 13 wishes for.
     pub fn dispatch_count(&self) -> u64 {
-        self.inner.state.lock().dispatches
+        self.lock_state().dispatches
     }
 
     // ------------------------------------------------------------------
@@ -1101,7 +1235,7 @@ impl Sim {
     /// host thread parks on `doorbell`.
     pub(crate) fn register_lite_sched(&self, doorbell: WaitId) {
         let tid = current_tid();
-        let mut st = self.inner.state.lock();
+        let mut st = self.lock_state();
         let prev = st.lite.insert(
             tid,
             LiteSched {
@@ -1116,7 +1250,7 @@ impl Sim {
     /// Unregisters the calling lite scheduler (its drive loop returned).
     pub(crate) fn unregister_lite_sched(&self) {
         let tid = current_tid();
-        self.inner.state.lock().lite.remove(&tid);
+        self.lock_state().lite.remove(&tid);
     }
 
     /// Parks lite-process `token` of the calling scheduler on engine wait
@@ -1125,7 +1259,7 @@ impl Sim {
     /// its doorbell — no host thread blocks.
     pub(crate) fn lite_wait_enqueue(&self, q: u64, token: u64, reason: &'static str) {
         let tid = current_tid();
-        let mut st = self.inner.state.lock();
+        let mut st = self.lock_state();
         let ls = st
             .lite
             .get_mut(&tid)
@@ -1147,7 +1281,7 @@ impl Sim {
     /// Returns whether the token was still armed.
     pub(crate) fn lite_wait_cancel(&self, token: u64) -> bool {
         let tid = current_tid();
-        let mut st = self.inner.state.lock();
+        let mut st = self.lock_state();
         st.lite
             .get_mut(&tid)
             .is_some_and(|ls| ls.waiting.remove(&token).is_some())
@@ -1157,7 +1291,7 @@ impl Sim {
     /// been delivered since the last drain, in delivery order.
     pub(crate) fn lite_take_mailbox(&self) -> Vec<u64> {
         let tid = current_tid();
-        let mut st = self.inner.state.lock();
+        let mut st = self.lock_state();
         st.lite
             .get_mut(&tid)
             .map_or_else(Vec::new, |ls| std::mem::take(&mut ls.mailbox))
@@ -1167,7 +1301,7 @@ impl Sim {
     /// event. Lite pids share the engine's tid namespace so traces stay
     /// unambiguous, but no `Proc` entry (and no host thread) backs them.
     pub(crate) fn alloc_lite_pid(&self, name: &str) -> u32 {
-        let mut st = self.inner.state.lock();
+        let mut st = self.lock_state();
         let pid = st.next_tid;
         st.next_tid += 1;
         if self.inner.tracer.is_enabled() {
@@ -1184,7 +1318,7 @@ impl Sim {
     /// the caller). Lite schedulers use this to decide whether yielding
     /// the baton between polls would actually let anyone else run.
     pub(crate) fn runnable_procs(&self) -> usize {
-        self.inner.state.lock().policy.runnable()
+        self.lock_state().policy.runnable()
     }
 
     // ------------------------------------------------------------------
@@ -1203,7 +1337,7 @@ impl Sim {
             let Some(tid) = CURRENT.with(|c| c.get()) else {
                 return;
             };
-            let mut st = self.inner.state.lock();
+            let mut st = self.lock_state();
             let name = st.procs[&tid].name.clone();
             let held = st.audit.held_locks.get(&tid).cloned().unwrap_or_default();
             for h in held {
@@ -1248,7 +1382,7 @@ impl Sim {
             let Some(tid) = CURRENT.with(|c| c.get()) else {
                 return;
             };
-            let mut st = self.inner.state.lock();
+            let mut st = self.lock_state();
             st.audit.held_locks.entry(tid).or_default().push(q.0);
             if let Some(d) = st.race.as_deref_mut() {
                 d.acquire(tid.0, SyncId::Lock(q.0));
@@ -1266,7 +1400,7 @@ impl Sim {
             let Some(tid) = CURRENT.with(|c| c.get()) else {
                 return;
             };
-            let mut st = self.inner.state.lock();
+            let mut st = self.lock_state();
             if let Some(held) = st.audit.held_locks.get_mut(&tid) {
                 if let Some(pos) = held.iter().rposition(|id| *id == q.0) {
                     held.remove(pos);
@@ -1296,7 +1430,7 @@ impl Sim {
     /// simulated clock.
     #[cfg(feature = "audit")]
     pub fn arm_race_detector(&self) -> bool {
-        let mut st = self.inner.state.lock();
+        let mut st = self.lock_state();
         if st.race.is_none() {
             let mut d = Box::new(Detector::new());
             let tids: Vec<u32> = st.procs.keys().map(|t| t.0).collect();
@@ -1319,7 +1453,7 @@ impl Sim {
     pub fn race_armed(&self) -> bool {
         #[cfg(feature = "audit")]
         {
-            self.inner.state.lock().race.is_some()
+            self.lock_state().race.is_some()
         }
         #[cfg(not(feature = "audit"))]
         false
@@ -1348,7 +1482,7 @@ impl Sim {
 
     #[cfg(feature = "audit")]
     fn race_user_access(&self, name: &'static str, key: u64, kind: AccessKind) {
-        let mut st = self.inner.state.lock();
+        let mut st = self.lock_state();
         if st.race.is_none() {
             return;
         }
@@ -1366,9 +1500,7 @@ impl Sim {
     /// detector is not armed.
     #[cfg(feature = "audit")]
     pub fn race_footprints(&self) -> Vec<((u32, u32), tnt_race::Footprint)> {
-        self.inner
-            .state
-            .lock()
+        self.lock_state()
             .race
             .as_mut()
             .map_or_else(Vec::new, |d| d.take_footprints())
@@ -1380,7 +1512,7 @@ impl Sim {
     /// its buffer).
     #[cfg(feature = "audit")]
     pub(crate) fn race_channel_op(&self, id: u64) {
-        let mut st = self.inner.state.lock();
+        let mut st = self.lock_state();
         if st.race.is_none() {
             return;
         }
@@ -1429,14 +1561,17 @@ impl Sim {
     /// Enables a planted bug for this simulation (unit tests only).
     #[cfg(test)]
     pub(crate) fn set_mutant(&self, bit: u8) {
-        self.inner.state.lock().mutants |= bit;
+        self.inner
+            .mutants_armed
+            .store(true, std::sync::atomic::Ordering::Relaxed);
+        self.lock_state().mutants |= bit;
     }
 
     /// Whether a planted bug is enabled; constant `false` outside unit
     /// tests, so mutant branches cost nothing in production.
     #[cfg(test)]
     pub(crate) fn mutant_enabled(&self, bit: u8) -> bool {
-        self.inner.state.lock().mutants & bit != 0
+        self.lock_state().mutants & bit != 0
     }
 
     #[cfg(not(test))]
@@ -1534,7 +1669,7 @@ impl Sim {
                 proc.parker.unpark(Wake::Run);
                 return;
             }
-            if let Some(Reverse((at, seq, action))) = st.timers.pop() {
+            if let Some((at, seq, action)) = st.timers.pop_earliest() {
                 if at > st.now {
                     // The system is idle until the next timer: jump the
                     // clock and let the tracer attribute the gap to the
@@ -1584,15 +1719,15 @@ impl Sim {
     }
 
     /// Planted bug (`MUTANT_TIMER_TIE_REORDER`): when the next timer on
-    /// the heap is due at the same instant as the one just popped, steal
+    /// the wheel is due at the same instant as the one just popped, steal
     /// it so it fires first — inverting the `(at, seq)` FIFO tie-break
     /// that makes equal-instant timers deterministic.
     fn mutant_steal_tie(&self, st: &mut State, at: Cycles) -> Option<(u64, TimerAction)> {
         if !mutant_on(st, MUTANT_TIMER_TIE_REORDER) {
             return None;
         }
-        if matches!(st.timers.peek(), Some(Reverse((at2, _, _))) if *at2 == at) {
-            let Reverse((_, seq, action)) = st.timers.pop().expect("peeked timer vanished");
+        if st.timers.peek_at() == Some(at) {
+            let (_, seq, action) = st.timers.pop_earliest().expect("peeked timer vanished");
             return Some((seq, action));
         }
         None
@@ -1750,7 +1885,7 @@ impl Sim {
     }
 
     fn on_exit(&self, tid: Tid) {
-        let mut st = self.inner.state.lock();
+        let mut st = self.lock_state();
         let proc = st.procs.get_mut(&tid).expect("exiting proc missing");
         proc.status = Status::Exited;
         st.live -= 1;
@@ -1760,7 +1895,7 @@ impl Sim {
     }
 
     fn on_panic(&self, _tid: Tid, msg: String) {
-        let mut st = self.inner.state.lock();
+        let mut st = self.lock_state();
         if st.error.is_none() {
             st.error = Some(SimError::ProcPanic(msg));
         }
@@ -1771,7 +1906,7 @@ impl Sim {
     /// Destroys any remaining processes and joins all threads.
     fn shutdown(&self) {
         {
-            let mut st = self.inner.state.lock();
+            let mut st = self.lock_state();
             st.shutting_down = true;
             for proc in st.procs.values() {
                 if proc.status != Status::Exited {
@@ -1953,6 +2088,75 @@ mod tests {
             s.advance(Cycles(5));
         });
         assert_eq!(sim.run().unwrap(), Cycles(1_400_005));
+    }
+
+    #[test]
+    fn batched_charges_conserve_cycles_exactly() {
+        // Property: any interleaving of batched charges (`charge_scaled`),
+        // immediate advances, and flush-forcing engine calls (`yield_now`,
+        // process exit) conserves cycles bit-for-bit — the final clock is
+        // the exact sum of every scaled amount the procs were told they
+        // charged. Jitter is on so per-charge scaling/rounding is
+        // exercised, not just the factor-1.0 fast path.
+        for seed in [1u64, 7, 1996] {
+            let sim = Sim::new(
+                Box::new(FifoPolicy::new()),
+                SimConfig {
+                    seed,
+                    jitter: 0.08,
+                    ..SimConfig::default()
+                },
+            );
+            let total = Arc::new(AtomicU64::new(0));
+            for tag in 0..3u64 {
+                let total = total.clone();
+                sim.spawn(format!("p{tag}"), move |s| {
+                    let mut lcg = seed ^ (tag.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+                    let mut local = 0u64;
+                    for _ in 0..200 {
+                        lcg = lcg
+                            .wrapping_mul(6364136223846793005)
+                            .wrapping_add(1442695040888963407);
+                        let amount = Cycles(lcg >> 56); // 0..=255
+                        match (lcg >> 32) % 4 {
+                            0 | 1 => local += s.charge_scaled(amount).0,
+                            2 => {
+                                s.advance(amount); // immediate, unscaled
+                                local += amount.0;
+                            }
+                            _ => {
+                                local += s.charge_scaled(amount).0;
+                                s.yield_now(); // flush at the handoff
+                            }
+                        }
+                    }
+                    total.fetch_add(local, Ordering::Relaxed);
+                });
+            }
+            let elapsed = sim.run().unwrap();
+            assert_eq!(elapsed.0, total.load(Ordering::Relaxed), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn same_cycle_timers_fire_in_arm_order() {
+        // Permanent regression test for the `(at, seq)` FIFO tie-break:
+        // timers armed for the same deadline must fire in arm order, no
+        // matter how the timer set is implemented (heap then, wheel now).
+        // The x-timer-tie mutant exists to break exactly this.
+        let sim = fifo_sim(0);
+        let order = Arc::new(Mutex::new(Vec::new()));
+        for name in ["first", "second", "third", "fourth"] {
+            let order = order.clone();
+            // Spawn order is arm order: each proc arms its wakeup for the
+            // identical instant as soon as it first runs.
+            sim.spawn(name, move |s| {
+                s.sleep_until(Cycles(10_000));
+                order.lock().push(name);
+            });
+        }
+        sim.run().unwrap();
+        assert_eq!(*order.lock(), vec!["first", "second", "third", "fourth"]);
     }
 
     #[test]

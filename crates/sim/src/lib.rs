@@ -36,6 +36,7 @@ mod lock;
 mod policy;
 mod stats;
 mod time;
+mod wheel;
 
 pub use audit::HostGuard;
 pub use chan::SimChannel;

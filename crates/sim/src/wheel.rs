@@ -1,0 +1,433 @@
+//! Hierarchical timer wheel with a calendar-queue fallback.
+//!
+//! The engine's timer set used to be a `BinaryHeap` keyed on
+//! `(deadline, seq)`; every arm and every fire paid `O(log n)` sifts
+//! through a box-strewn heap. This wheel keeps the exact same *total
+//! order* — timers pop strictly by `(deadline, seq)`, so the FIFO
+//! tie-break among same-cycle timers is preserved bit-for-bit — while
+//! making the common operations cheap:
+//!
+//! * **insert**: a shift/mask to pick the level and slot, `O(1)`;
+//! * **pop**: a `u64` occupancy-bitmap scan per level (one
+//!   `trailing_zeros` each), cascading a coarser slot into finer ones
+//!   only when the cursor actually reaches it.
+//!
+//! Layout: [`LEVELS`] levels of 64 slots. Level 0 slots are one cycle
+//! wide; each higher level is 64× coarser, so the wheel spans
+//! `64^LEVELS` cycles (~32 simulated days at 100 MHz) ahead of the
+//! cursor. Deadlines beyond the horizon go to the `far` calendar — an
+//! ordered map keyed by `(deadline, seq)` — and are compared against
+//! the wheel's minimum at pop time, so they fire in exactly the right
+//! global position without ever being re-hashed into the wheel.
+//! Deadlines at or before the cursor (`wakeup_one_at` in the past) go
+//! to the sorted `overdue` bin and pop first.
+//!
+//! The cursor only moves forward, and only to the deadline of the
+//! entry being popped (or the start of a slot every finer level has
+//! already drained past) — the wheel never reorders, drops, or
+//! invents a tick.
+
+use std::collections::BTreeMap;
+use std::collections::VecDeque;
+
+use crate::time::Cycles;
+
+/// log2 of the slots per level.
+const SLOT_BITS: u32 = 6;
+/// Slots per level.
+const SLOTS: usize = 1 << SLOT_BITS;
+/// Number of levels; the wheel spans `64^LEVELS` cycles past the cursor.
+const LEVELS: usize = 8;
+
+/// One pending timer.
+struct Entry<T> {
+    at: u64,
+    seq: u64,
+    payload: T,
+}
+
+/// The timer wheel. `T` is the timer's action payload; ordering is
+/// entirely by `(at, seq)`, so `T` needs no comparison instances.
+pub(crate) struct TimerWheel<T> {
+    /// Every pending wheel entry has `at > cursor`; never decreases.
+    cursor: u64,
+    /// Flat `LEVELS × SLOTS` slot array (`level * SLOTS + slot`).
+    slots: Vec<Vec<Entry<T>>>,
+    /// Per-level occupancy bitmaps: bit `s` set iff slot `s` non-empty.
+    occupied: [u64; LEVELS],
+    /// Entries armed at or before the cursor, sorted by `(at, seq)`.
+    overdue: VecDeque<Entry<T>>,
+    /// Calendar fallback for deadlines beyond the wheel horizon,
+    /// ordered by `(at, seq)`.
+    far: BTreeMap<(u64, u64), T>,
+    len: usize,
+}
+
+impl<T> TimerWheel<T> {
+    pub(crate) fn new() -> TimerWheel<T> {
+        TimerWheel {
+            cursor: 0,
+            slots: (0..LEVELS * SLOTS).map(|_| Vec::new()).collect(),
+            occupied: [0; LEVELS],
+            overdue: VecDeque::new(),
+            far: BTreeMap::new(),
+            len: 0,
+        }
+    }
+
+    /// Number of pending timers.
+    #[cfg(test)]
+    pub(crate) fn len(&self) -> usize {
+        self.len
+    }
+
+    #[cfg(test)]
+    pub(crate) fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Arms a timer. `seq` values must be unique (the engine's arming
+    /// counter); equal-deadline timers pop in `seq` (arm) order.
+    pub(crate) fn insert(&mut self, at: Cycles, seq: u64, payload: T) {
+        let at = at.0;
+        self.len += 1;
+        if at <= self.cursor {
+            // Past or due-now deadline: sorted insert into the overdue
+            // bin (rare — a `wakeup_*_at` aimed at the past).
+            let pos = self
+                .overdue
+                .partition_point(|e| (e.at, e.seq) <= (at, seq));
+            self.overdue.insert(pos, Entry { at, seq, payload });
+            return;
+        }
+        match level_of(self.cursor, at) {
+            Some(level) => {
+                let slot = slot_of(at, level);
+                self.slots[level * SLOTS + slot].push(Entry { at, seq, payload });
+                self.occupied[level] |= 1 << slot;
+            }
+            None => {
+                self.far.insert((at, seq), payload);
+            }
+        }
+    }
+
+    /// Deadline of the earliest pending timer, if any. May cascade
+    /// coarse slots internally but never changes the pop order.
+    pub(crate) fn peek_at(&mut self) -> Option<Cycles> {
+        self.min_pos().map(|p| Cycles(p.0))
+    }
+
+    /// Pops the earliest pending timer (global `(at, seq)` minimum).
+    pub(crate) fn pop_earliest(&mut self) -> Option<(Cycles, u64, T)> {
+        let (at, seq, place) = self.min_pos()?;
+        self.len -= 1;
+        // Advance only to `at - 1`: same-deadline siblings still in the
+        // wheel must stay strictly ahead of the cursor so the bitmap
+        // scan (strictly-above masks) keeps finding them.
+        self.cursor = self.cursor.max(at.saturating_sub(1));
+        let payload = match place {
+            Place::Overdue => {
+                let e = self.overdue.pop_front().expect("overdue min vanished");
+                debug_assert_eq!((e.at, e.seq), (at, seq));
+                e.payload
+            }
+            Place::Far => {
+                let ((_, _), payload) =
+                    self.far.pop_first().expect("far min vanished");
+                payload
+            }
+            Place::Slot(idx) => {
+                let slot = &mut self.slots[idx];
+                let i = slot
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, e)| (e.at, e.seq))
+                    .map(|(i, _)| i)
+                    .expect("occupied slot is empty");
+                let e = slot.remove(i);
+                debug_assert_eq!((e.at, e.seq), (at, seq));
+                if slot.is_empty() {
+                    let level = idx / SLOTS;
+                    self.occupied[level] &= !(1 << (idx % SLOTS));
+                }
+                e.payload
+            }
+        };
+        Some((Cycles(at), seq, payload))
+    }
+
+    /// Pops the earliest timer if its deadline is at or before `target`.
+    pub(crate) fn pop_due(&mut self, target: Cycles) -> Option<(Cycles, u64, T)> {
+        match self.min_pos() {
+            Some((at, _, _)) if at <= target.0 => self.pop_earliest(),
+            _ => None,
+        }
+    }
+
+    /// Locates the global `(at, seq)` minimum, cascading coarse slots
+    /// down until the minimum lives in a directly poppable place: the
+    /// overdue bin, a level-0 slot, or the far calendar.
+    fn min_pos(&mut self) -> Option<(u64, u64, Place)> {
+        loop {
+            // The overdue bin holds deadlines <= cursor; every wheel
+            // entry is > cursor, so only the far calendar can tie it.
+            let over = self.overdue.front().map(|e| (e.at, e.seq));
+            let far = self.far.first_key_value().map(|(&k, _)| k);
+            if let Some((at, seq)) = over {
+                return match far {
+                    Some(f) if f < (at, seq) => Some((f.0, f.1, Place::Far)),
+                    _ => Some((at, seq, Place::Overdue)),
+                };
+            }
+            // Finest occupied level first: a level-l entry is always
+            // earlier than any level-(l+1) entry (they agree with the
+            // cursor on all coarser digits and differ on digit l).
+            let Some((level, slot)) = self.first_occupied() else {
+                return far.map(|(at, seq)| (at, seq, Place::Far));
+            };
+            if level == 0 {
+                let idx = slot; // level 0: idx == slot
+                let (at, seq) = self.slots[idx]
+                    .iter()
+                    .map(|e| (e.at, e.seq))
+                    .min()
+                    .expect("occupied slot is empty");
+                return match far {
+                    Some(f) if f < (at, seq) => Some((f.0, f.1, Place::Far)),
+                    _ => Some((at, seq, Place::Slot(idx))),
+                };
+            }
+            // A coarse slot holds the wheel minimum. Its range starts at
+            // `start`; if the far calendar has something strictly
+            // earlier, that wins outright (every entry in this slot is
+            // >= start). Otherwise cascade the slot into finer levels
+            // and look again.
+            let start = slot_start(self.cursor, level, slot);
+            if let Some(f) = far {
+                if f.0 < start {
+                    return Some((f.0, f.1, Place::Far));
+                }
+            }
+            self.cascade(level, slot, start);
+        }
+    }
+
+    /// Drains the coarse slot `(level, slot)` whose range starts at
+    /// `start`, re-inserting its entries relative to the advanced
+    /// cursor. Entries landing exactly on the new cursor go to the
+    /// overdue bin (they are the next to pop).
+    fn cascade(&mut self, level: usize, slot: usize, start: u64) {
+        debug_assert!(level > 0);
+        // Every finer slot and the overdue bin were empty, and every
+        // other wheel/far entry is at or after `start`, so the cursor
+        // can jump to the start of this slot's range.
+        debug_assert!(start >= self.cursor);
+        self.cursor = start;
+        let idx = level * SLOTS + slot;
+        let entries = std::mem::take(&mut self.slots[idx]);
+        self.occupied[level] &= !(1 << slot);
+        for e in entries {
+            self.len -= 1; // re-counted by insert
+            self.insert(Cycles(e.at), e.seq, e.payload);
+        }
+    }
+
+    /// The finest `(level, slot)` holding a pending entry, scanning
+    /// each level's occupancy bitmap above the cursor's own digit.
+    /// Slots at or below the cursor digit cannot hold entries (every
+    /// entry is > cursor and agrees with the cursor on coarser digits).
+    fn first_occupied(&self) -> Option<(usize, usize)> {
+        for level in 0..LEVELS {
+            let digit = ((self.cursor >> (SLOT_BITS * level as u32)) & (SLOTS as u64 - 1)) as u32;
+            // Level 0 may hold an entry in the cursor's own slot only
+            // if at == cursor, which insert() routes to overdue; so
+            // strictly-above masks are correct at every level.
+            let mask = if digit == 63 { 0 } else { !0u64 << (digit + 1) };
+            let bits = self.occupied[level] & mask;
+            if bits != 0 {
+                return Some((level, bits.trailing_zeros() as usize));
+            }
+        }
+        None
+    }
+}
+
+/// The level whose digit is the most significant one where `at` and
+/// `cursor` differ; `None` when `at` is beyond the wheel horizon.
+fn level_of(cursor: u64, at: u64) -> Option<usize> {
+    debug_assert!(at > cursor);
+    let level = ((63 - (cursor ^ at).leading_zeros()) / SLOT_BITS) as usize;
+    (level < LEVELS).then_some(level)
+}
+
+/// The slot index of `at` within `level`.
+fn slot_of(at: u64, level: usize) -> usize {
+    ((at >> (SLOT_BITS * level as u32)) & (SLOTS as u64 - 1)) as usize
+}
+
+/// First instant covered by slot `slot` of `level`, given that the
+/// slot agrees with the cursor on all digits above `level`.
+fn slot_start(cursor: u64, level: usize, slot: usize) -> u64 {
+    let shift = SLOT_BITS * level as u32;
+    let above = cursor >> (shift + SLOT_BITS) << (shift + SLOT_BITS);
+    above | (slot as u64) << shift
+}
+
+#[derive(Clone, Copy, Debug)]
+enum Place {
+    Overdue,
+    Far,
+    Slot(usize),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+
+    /// Drains wheel and reference heap side by side, asserting the
+    /// wheel reproduces the heap's exact `(at, seq)` pop order.
+    fn assert_matches_heap(mut wheel: TimerWheel<u32>, mut heap: BinaryHeap<Reverse<(u64, u64, u32)>>) {
+        while let Some(Reverse((at, seq, v))) = heap.pop() {
+            let (wat, wseq, wv) = wheel.pop_earliest().expect("wheel ran dry early");
+            assert_eq!((wat.0, wseq, wv), (at, seq, v), "pop order diverged");
+        }
+        assert!(wheel.pop_earliest().is_none(), "wheel has extra entries");
+        assert_eq!(wheel.len(), 0);
+    }
+
+    type Oracle = BinaryHeap<Reverse<(u64, u64, u32)>>;
+
+    fn build(entries: &[(u64, u64)]) -> (TimerWheel<u32>, Oracle) {
+        let mut wheel = TimerWheel::new();
+        let mut heap = BinaryHeap::new();
+        for (i, &(at, seq)) in entries.iter().enumerate() {
+            wheel.insert(Cycles(at), seq, i as u32);
+            heap.push(Reverse((at, seq, i as u32)));
+        }
+        (wheel, heap)
+    }
+
+    #[test]
+    fn empty_wheel_pops_nothing() {
+        let mut w: TimerWheel<u32> = TimerWheel::new();
+        assert!(w.pop_earliest().is_none());
+        assert!(w.peek_at().is_none());
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn same_cycle_timers_pop_in_seq_order() {
+        let (w, h) = build(&[(100, 3), (100, 1), (100, 2), (100, 0)]);
+        assert_matches_heap(w, h);
+    }
+
+    #[test]
+    fn mixed_near_and_far_deadlines() {
+        let horizon = 64u64.pow(8);
+        let (w, h) = build(&[
+            (5, 0),
+            (horizon + 17, 1), // far calendar
+            (63, 2),
+            (64, 3),            // level 1 at insert time
+            (4096, 4),          // level 2
+            (horizon * 3, 5),   // far
+            (6, 6),
+            (5, 7),             // ties with seq 0 at t=5
+        ]);
+        assert_matches_heap(w, h);
+    }
+
+    #[test]
+    fn interleaved_insert_and_pop() {
+        let mut wheel = TimerWheel::new();
+        let mut heap = BinaryHeap::new();
+        // Deterministic pseudo-random walk: pops interleaved with
+        // inserts whose deadlines sometimes precede the cursor.
+        let mut x: u64 = 0x243F_6A88_85A3_08D3;
+        for round in 0..2000 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let at = x % 300_000;
+            // One arm per round, so the round number doubles as the
+            // FIFO sequence.
+            wheel.insert(Cycles(at), round, round as u32);
+            heap.push(Reverse((at, round, round as u32)));
+            if round % 3 == 0 {
+                let got = wheel.pop_earliest();
+                let want = heap.pop();
+                match (got, want) {
+                    (Some((a, s, v)), Some(Reverse((ha, hs, hv)))) => {
+                        assert_eq!((a.0, s, v), (ha, hs, hv), "round {round}");
+                    }
+                    (None, None) => {}
+                    other => panic!("round {round}: mismatch {other:?}"),
+                }
+            }
+        }
+        assert_matches_heap(wheel, heap);
+    }
+
+    #[test]
+    fn pop_due_respects_target() {
+        let mut w: TimerWheel<u32> = TimerWheel::new();
+        w.insert(Cycles(10), 0, 0);
+        w.insert(Cycles(20), 1, 1);
+        assert!(w.pop_due(Cycles(5)).is_none());
+        assert_eq!(w.pop_due(Cycles(10)).map(|(at, ..)| at), Some(Cycles(10)));
+        assert!(w.pop_due(Cycles(15)).is_none());
+        assert_eq!(w.pop_due(Cycles(25)).map(|(at, ..)| at), Some(Cycles(20)));
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn past_deadline_insert_pops_first_in_at_seq_order() {
+        let mut w: TimerWheel<u32> = TimerWheel::new();
+        w.insert(Cycles(500), 0, 0);
+        let popped = w.pop_earliest().unwrap();
+        assert_eq!(popped.0, Cycles(500)); // cursor now 500
+        w.insert(Cycles(100), 1, 1); // aimed at the past
+        w.insert(Cycles(500), 2, 2); // due exactly now
+        w.insert(Cycles(600), 3, 3);
+        assert_eq!(w.pop_earliest().map(|(at, s, _)| (at.0, s)), Some((100, 1)));
+        assert_eq!(w.pop_earliest().map(|(at, s, _)| (at.0, s)), Some((500, 2)));
+        assert_eq!(w.pop_earliest().map(|(at, s, _)| (at.0, s)), Some((600, 3)));
+    }
+
+    #[test]
+    fn far_calendar_ties_break_by_seq_against_wheel() {
+        // A far entry and a wheel entry can share a deadline when the
+        // cursor advances between the two arms; seq decides.
+        let horizon = 64u64.pow(8);
+        let mut w: TimerWheel<u32> = TimerWheel::new();
+        w.insert(Cycles(horizon + 1), 0, 0); // far at insert time
+        w.insert(Cycles(horizon + 500), 1, 1); // far at insert time
+        assert_eq!(w.pop_earliest().map(|(at, s, _)| (at.0, s)), Some((horizon + 1, 0)));
+        // Cursor now shares the top digit with horizon + 500: the same
+        // deadline armed again lands in the wheel proper.
+        w.insert(Cycles(horizon + 500), 2, 2);
+        assert_eq!(
+            w.pop_earliest().map(|(at, s, _)| (at.0, s)),
+            Some((horizon + 500, 1)),
+            "far entry armed first pops first on the shared deadline"
+        );
+        assert_eq!(w.pop_earliest().map(|(at, s, _)| (at.0, s)), Some((horizon + 500, 2)));
+    }
+
+    #[test]
+    fn dense_block_boundaries() {
+        // Deadlines straddling every 64^k boundary near the cursor.
+        let mut entries = Vec::new();
+        let mut seq = 0u64;
+        for k in 0..4u32 {
+            let b = 64u64.pow(k + 1);
+            for d in [b - 2, b - 1, b, b + 1, b + 2] {
+                entries.push((d, seq));
+                seq += 1;
+            }
+        }
+        let (w, h) = build(&entries);
+        assert_matches_heap(w, h);
+    }
+}

@@ -1,6 +1,6 @@
 //! The event recorder and online attribution engine.
 
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
 use parking_lot::Mutex;
@@ -138,12 +138,38 @@ impl Profile {
     }
 }
 
+/// The ring's internal record: a fixed-size `Copy` packing of [`Event`].
+/// Spawn names are interned into a side arena at record time, so pushing
+/// an event never allocates — the ring is one preallocated slab and every
+/// payload is inline.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum PackedKind {
+    /// Index into `Inner::name_arena`.
+    Spawn(u32),
+    Enter(Class),
+    Exit(Class),
+    Charge(u64),
+    Dispatch(u64),
+    Idle(u64),
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct Packed {
+    t: u64,
+    pid: u32,
+    kind: PackedKind,
+}
+
 struct Inner {
     capacity: usize,
-    ring: VecDeque<Event>,
+    ring: Vec<Packed>,
     dropped: u64,
-    /// Spawn-time names (BTreeMap: deterministic iteration).
-    names: BTreeMap<u32, String>,
+    /// Interned spawn names; `PackedKind::Spawn` and `names` index here.
+    name_arena: Vec<String>,
+    /// Reverse lookup for interning (BTreeMap: deterministic iteration).
+    name_ids: BTreeMap<String, u32>,
+    /// Spawn-time name of each pid, as an arena index.
+    names: BTreeMap<u32, u32>,
     /// Open span stacks per pid.
     stacks: BTreeMap<u32, Vec<Class>>,
     /// Attributed cycles per (class, pid).
@@ -158,8 +184,10 @@ impl Inner {
     fn new(capacity: usize) -> Inner {
         Inner {
             capacity,
-            ring: VecDeque::new(),
+            ring: Vec::new(),
             dropped: 0,
+            name_arena: Vec::new(),
+            name_ids: BTreeMap::new(),
             names: BTreeMap::new(),
             stacks: BTreeMap::new(),
             cycles: BTreeMap::new(),
@@ -169,9 +197,50 @@ impl Inner {
         }
     }
 
+    fn intern(&mut self, name: &str) -> u32 {
+        if let Some(&id) = self.name_ids.get(name) {
+            return id;
+        }
+        let id = self.name_arena.len() as u32;
+        self.name_arena.push(name.to_string());
+        self.name_ids.insert(name.to_string(), id);
+        id
+    }
+
+    fn pack(&mut self, ev: &Event) -> Packed {
+        let kind = match &ev.kind {
+            EventKind::Spawn(name) => PackedKind::Spawn(self.intern(name)),
+            EventKind::Enter(c) => PackedKind::Enter(*c),
+            EventKind::Exit(c) => PackedKind::Exit(*c),
+            EventKind::Charge { cy } => PackedKind::Charge(*cy),
+            EventKind::Dispatch { cy } => PackedKind::Dispatch(*cy),
+            EventKind::Idle { cy } => PackedKind::Idle(*cy),
+        };
+        Packed {
+            t: ev.t,
+            pid: ev.pid,
+            kind,
+        }
+    }
+
+    /// Renders a packed record exactly as [`Event::render`] would have
+    /// rendered the original event (byte-identical dumps).
+    fn render(&self, p: Packed) -> String {
+        match p.kind {
+            PackedKind::Spawn(id) => {
+                format!("{} p{} spawn {}", p.t, p.pid, self.name_arena[id as usize])
+            }
+            PackedKind::Enter(c) => format!("{} p{} enter {}", p.t, p.pid, c.label()),
+            PackedKind::Exit(c) => format!("{} p{} exit {}", p.t, p.pid, c.label()),
+            PackedKind::Charge(cy) => format!("{} p{} charge {}", p.t, p.pid, cy),
+            PackedKind::Dispatch(cy) => format!("{} p{} dispatch {}", p.t, p.pid, cy),
+            PackedKind::Idle(cy) => format!("{} p{} idle {}", p.t, p.pid, cy),
+        }
+    }
+
     fn proc_label(&self, pid: u32) -> String {
         match self.names.get(&pid) {
-            Some(n) => n.clone(),
+            Some(&id) => self.name_arena[id as usize].clone(),
             None if pid == 0 => "host".to_string(),
             None => format!("p{pid}"),
         }
@@ -198,25 +267,25 @@ impl Inner {
     }
 
     /// Folds one event into the attribution state.
-    fn apply(&mut self, ev: &Event) {
-        match &ev.kind {
-            EventKind::Spawn(name) => {
-                self.names.insert(ev.pid, name.clone());
+    fn apply(&mut self, ev: Packed) {
+        match ev.kind {
+            PackedKind::Spawn(id) => {
+                self.names.insert(ev.pid, id);
                 self.stacks.entry(ev.pid).or_default();
             }
-            EventKind::Enter(c) => {
-                self.stacks.entry(ev.pid).or_default().push(*c);
+            PackedKind::Enter(c) => {
+                self.stacks.entry(ev.pid).or_default().push(c);
             }
-            EventKind::Exit(c) => {
+            PackedKind::Exit(c) => {
                 let stack = self.stacks.entry(ev.pid).or_default();
                 // Tolerate interleaved guards: pop through to the match.
                 while let Some(top) = stack.pop() {
-                    if top == *c {
+                    if top == c {
                         break;
                     }
                 }
             }
-            EventKind::Charge { cy } => {
+            PackedKind::Charge(cy) => {
                 let class = self
                     .stacks
                     .get(&ev.pid)
@@ -227,13 +296,13 @@ impl Inner {
                 *self.folded.entry(key).or_default() += cy;
                 self.attributed += cy;
             }
-            EventKind::Dispatch { cy } => {
+            PackedKind::Dispatch(cy) => {
                 *self.cycles.entry((Class::SchedScan, ev.pid)).or_default() += cy;
                 let key = format!("{};{}", self.proc_label(ev.pid), Class::SchedScan.label());
                 *self.folded.entry(key).or_default() += cy;
                 self.attributed += cy;
             }
-            EventKind::Idle { cy } => {
+            PackedKind::Idle(cy) => {
                 // Attribute system idle to the best open wait span across
                 // all blocked processes (innermost occurrence per stack).
                 let mut best: Option<(u8, u32, Class)> = None;
@@ -297,10 +366,14 @@ impl Tracer {
     }
 
     /// Starts recording events into a fresh ring of `capacity` events.
-    /// Attribution state is reset too; counters are left running.
+    /// Attribution state is reset too; counters are left running. The
+    /// whole ring is allocated up front so recording never reallocates
+    /// (disabled tracers — the common case — hold no slab at all).
     pub fn enable(&self, capacity: usize) {
         let mut g = self.inner.lock();
         *g = Inner::new(capacity.max(1));
+        let cap = g.capacity;
+        g.ring.reserve_exact(cap);
         drop(g);
         self.enabled.store(true, Ordering::Release);
     }
@@ -333,12 +406,13 @@ impl Tracer {
             return;
         }
         let mut g = self.inner.lock();
-        g.apply(&ev);
+        let packed = g.pack(&ev);
+        g.apply(packed);
         if g.ring.len() >= g.capacity {
             g.dropped += 1;
             self.counters.add(Counter::TraceDrops, 1);
         } else {
-            g.ring.push_back(ev);
+            g.ring.push(packed);
         }
     }
 
@@ -357,8 +431,8 @@ impl Tracer {
     pub fn dump(&self) -> String {
         let g = self.inner.lock();
         let mut out = String::new();
-        for ev in &g.ring {
-            out.push_str(&ev.render());
+        for &ev in &g.ring {
+            out.push_str(&g.render(ev));
             out.push('\n');
         }
         out.push_str(&format!("dropped {}\n", g.dropped));
